@@ -1,0 +1,135 @@
+package misusedetect_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"misusedetect/internal/core"
+	"misusedetect/internal/experiments"
+	"misusedetect/internal/logsim"
+)
+
+// benchSetup builds the bench-scale experiment environment once; the
+// figure benchmarks then measure the cost of regenerating each figure.
+var (
+	benchOnce sync.Once
+	benchVal  *experiments.Setup
+	benchErr  error
+)
+
+func benchmarkSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchVal, benchErr = experiments.NewSetup(experiments.ScaleBench, 7)
+		if benchErr == nil {
+			benchErr = benchVal.TrainBaselines()
+		}
+	})
+	if benchErr != nil {
+		b.Fatalf("bench setup: %v", benchErr)
+	}
+	return benchVal
+}
+
+// benchmarkFigure runs one experiment per iteration and renders it to
+// io.Discard so table formatting is included in the measured cost.
+func benchmarkFigure(b *testing.B, name string) {
+	s := benchmarkSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(name, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3SessionLengths regenerates the paper's Figure 3 (session
+// length distribution).
+func BenchmarkFig3SessionLengths(b *testing.B) { benchmarkFigure(b, "fig3") }
+
+// BenchmarkFig4ClusterDiversity regenerates Figure 4 (own-cluster vs
+// cross-cluster accuracy of every cluster model).
+func BenchmarkFig4ClusterDiversity(b *testing.B) { benchmarkFigure(b, "fig4") }
+
+// BenchmarkFig5AccuracyBaselines regenerates Figure 5 (cluster model vs
+// global and size-matched subset baselines, accuracy).
+func BenchmarkFig5AccuracyBaselines(b *testing.B) { benchmarkFigure(b, "fig5") }
+
+// BenchmarkFig6OCSVMScores regenerates Figure 6 (per-action OC-SVM score
+// development).
+func BenchmarkFig6OCSVMScores(b *testing.B) { benchmarkFigure(b, "fig6") }
+
+// BenchmarkFig7OnlineRegime regenerates Figure 7 (online per-position
+// likelihood under the two routing policies).
+func BenchmarkFig7OnlineRegime(b *testing.B) { benchmarkFigure(b, "fig7") }
+
+// BenchmarkFig8NormalityScores regenerates Figures 8-9 (normality of real
+// vs random sessions in likelihood and loss).
+func BenchmarkFig8NormalityScores(b *testing.B) { benchmarkFigure(b, "fig8-9") }
+
+// BenchmarkFig10LossBaselines regenerates the appendix Figure 10
+// (per-cluster loss against both baselines).
+func BenchmarkFig10LossBaselines(b *testing.B) { benchmarkFigure(b, "fig10") }
+
+// BenchmarkFig11NormalityPerCluster regenerates the appendix Figures
+// 11-12 (per-cluster normality under four routing baselines).
+func BenchmarkFig11NormalityPerCluster(b *testing.B) { benchmarkFigure(b, "fig11-12") }
+
+// BenchmarkTop20Suspicious regenerates the §IV-D review (top-20 most
+// suspicious sessions with injected misuse).
+func BenchmarkTop20Suspicious(b *testing.B) { benchmarkFigure(b, "top20") }
+
+// BenchmarkAblationWeighted measures the future-work weighted-combination
+// scorer.
+func BenchmarkAblationWeighted(b *testing.B) { benchmarkFigure(b, "ablation-weighted") }
+
+// BenchmarkAblationTrend measures the trend-alarm ablation.
+func BenchmarkAblationTrend(b *testing.B) { benchmarkFigure(b, "ablation-trend") }
+
+// BenchmarkAblationPerplexity measures the perplexity-measure ablation.
+func BenchmarkAblationPerplexity(b *testing.B) { benchmarkFigure(b, "ablation-perplexity") }
+
+// BenchmarkCorpusGeneration measures the simulator itself (the substrate
+// behind Figure 3's dataset).
+func BenchmarkCorpusGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := logsim.Generate(logsim.ScaledConfig(int64(i), 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineMonitorThroughput measures end-to-end per-action cost of
+// the online monitor (the paper's realtime regime): how many actions per
+// second one stream can score.
+func BenchmarkOnlineMonitorThroughput(b *testing.B) {
+	s := benchmarkSetup(b)
+	sessions := s.Corpus.Sessions
+	var actions []string
+	for _, sess := range sessions[:50] {
+		actions = append(actions, sess.Actions...)
+	}
+	b.ResetTimer()
+	mon, err := s.Detector.NewSessionMonitor(core.DefaultMonitorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.ObserveAction(actions[i%len(actions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionAUC measures the detection-quality (ROC/AUC) sweep.
+func BenchmarkExtensionAUC(b *testing.B) { benchmarkFigure(b, "extension-auc") }
+
+// BenchmarkExtensionTrainingMode measures the windowed-vs-sequence
+// training comparison.
+func BenchmarkExtensionTrainingMode(b *testing.B) { benchmarkFigure(b, "extension-training-mode") }

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+	"misusedetect/internal/experiments"
+	"misusedetect/internal/lda"
+	"misusedetect/internal/logsim"
+	"misusedetect/internal/nn"
+	"misusedetect/internal/viz"
+)
+
+func cmdGenerate(args []string) error {
+	fs := newFlagSet("generate")
+	out := fs.String("out", "events.jsonl", "output event log path")
+	divisor := fs.Int("divisor", 10, "corpus scale divisor (1 = paper scale, ~15000 sessions)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	misuse := fs.Int("misuse", 0, "number of scripted misuse sessions to inject")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := logsim.Generate(logsim.ScaledConfig(*seed, *divisor))
+	if err != nil {
+		return err
+	}
+	sessions := corpus.Sessions
+	if *misuse > 0 {
+		var ids []string
+		sessions, ids, err = logsim.InjectMisuse(sessions, *misuse, *seed+1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injected %d misuse sessions: %v\n", len(ids), ids)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := actionlog.WriteEvents(f, actionlog.Flatten(sessions)); err != nil {
+		return err
+	}
+	stats, err := actionlog.ComputeLengthStats(sessions, 98)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d sessions, %d actions vocabulary, mean length %.1f, p98 %.0f, max %.0f\n",
+		*out, stats.Count, corpus.Vocabulary.Size(), stats.Mean, stats.PctValue, stats.Max)
+	return nil
+}
+
+func loadSessions(path string) ([]*actionlog.Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := actionlog.ParseEvents(f)
+	if err != nil {
+		return nil, err
+	}
+	return actionlog.Reconstruct(events), nil
+}
+
+func cmdTrain(args []string) error {
+	fs := newFlagSet("train")
+	data := fs.String("data", "", "input event log (JSONL)")
+	modelDir := fs.String("model", "./model", "output model directory")
+	clusters := fs.Int("clusters", 13, "number of behavior clusters")
+	scale := fs.String("scale", "default", "model scale: test|bench|default|paper")
+	seed := fs.Int64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("train: -data is required")
+	}
+	sessions, err := loadSessions(*data)
+	if err != nil {
+		return err
+	}
+	vocab, err := actionlog.VocabularyFromSessions(sessions)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	hidden, epochs, lr := scaleModel(sc)
+	cfg := core.ScaledConfig(vocab.Size(), *clusters, hidden, epochs, *seed)
+	cfg.LM.Trainer.LearningRate = lr
+
+	fmt.Printf("clustering %d sessions into %d behavior clusters...\n", len(sessions), *clusters)
+	clustering, err := core.ClusterHistory(cfg, vocab, sessions)
+	if err != nil {
+		return err
+	}
+	parts, err := clustering.Partition()
+	if err != nil {
+		return err
+	}
+	for i, p := range parts {
+		fmt.Printf("  cluster %d: %d sessions\n", i, len(p))
+	}
+	fmt.Println("training per-cluster OC-SVMs and LSTM language models...")
+	det, err := core.TrainDetector(cfg, vocab, parts, func(cluster int, st nn.EpochStats) {
+		fmt.Printf("  cluster %d epoch %d: loss %.4f over %d predictions\n",
+			cluster, st.Epoch, st.Loss, st.Examples)
+	})
+	if err != nil {
+		return err
+	}
+	if err := det.Save(*modelDir); err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s\n", *modelDir)
+	return nil
+}
+
+// scaleModel maps an experiment scale to model hyperparameters.
+func scaleModel(sc experiments.Scale) (hidden, epochs int, lr float64) {
+	switch sc {
+	case experiments.ScaleTest, experiments.ScaleBench:
+		return 16, 4, 0.01
+	case experiments.ScalePaper:
+		return 256, 10, 0.001
+	default:
+		return 48, 6, 0.005
+	}
+}
+
+func cmdScore(args []string) error {
+	fs := newFlagSet("score")
+	data := fs.String("data", "", "input event log (JSONL)")
+	modelDir := fs.String("model", "./model", "model directory")
+	top := fs.Int("top", 20, "print the N most suspicious sessions")
+	jsonOut := fs.Bool("json", false, "emit JSON reports instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("score: -data is required")
+	}
+	det, err := core.LoadDetector(*modelDir)
+	if err != nil {
+		return err
+	}
+	sessions, err := loadSessions(*data)
+	if err != nil {
+		return err
+	}
+	reports, err := det.RankSuspicious(sessions)
+	if err != nil {
+		return err
+	}
+	n := *top
+	if n > len(reports) {
+		n = len(reports)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range reports[:n] {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Printf("%d sessions scored; %d most suspicious:\n", len(reports), n)
+	for i, r := range reports[:n] {
+		fmt.Printf("%3d. %-24s cluster=%2d likelihood=%.4f loss=%.4f perplexity=%.1f\n",
+			i+1, r.SessionID, r.Cluster, r.Score.AvgLikelihood, r.Score.AvgLoss, r.Score.Perplexity)
+	}
+	return nil
+}
+
+func cmdMonitor(args []string) error {
+	fs := newFlagSet("monitor")
+	data := fs.String("data", "", "input event log (JSONL)")
+	modelDir := fs.String("model", "./model", "model directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("monitor: -data is required")
+	}
+	det, err := core.LoadDetector(*modelDir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := actionlog.ParseEvents(f)
+	if err != nil {
+		return err
+	}
+	monitors := make(map[string]*core.SessionMonitor)
+	alarmed := make(map[string]bool)
+	for _, ev := range events {
+		mon, ok := monitors[ev.SessionID]
+		if !ok {
+			mon, err = det.NewSessionMonitor(core.DefaultMonitorConfig())
+			if err != nil {
+				return err
+			}
+			monitors[ev.SessionID] = mon
+		}
+		step, err := mon.ObserveAction(ev.Action)
+		if err != nil {
+			fmt.Printf("%s session=%s skipped action %q: %v\n", ev.Time.Format("15:04:05"), ev.SessionID, ev.Action, err)
+			continue
+		}
+		for _, kind := range step.Alarms {
+			fmt.Printf("%s ALARM %-16s session=%s user=%s position=%d cluster=%d likelihood=%.4f\n",
+				ev.Time.Format("15:04:05"), kind, ev.SessionID, ev.User, step.Position, step.Cluster, step.Smoothed)
+			alarmed[ev.SessionID] = true
+		}
+	}
+	fmt.Printf("monitored %d sessions, %d raised alarms\n", len(monitors), len(alarmed))
+	return nil
+}
+
+func cmdViz(args []string) error {
+	fs := newFlagSet("viz")
+	data := fs.String("data", "", "input event log (JSONL)")
+	out := fs.String("out", "view.json", "output view JSON path")
+	topics := fs.Int("topics", 13, "LDA topic count for the ensemble center")
+	seed := fs.Int64("seed", 1, "seed")
+	ascii := fs.Bool("ascii", true, "render the projection to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("viz: -data is required")
+	}
+	sessions, err := loadSessions(*data)
+	if err != nil {
+		return err
+	}
+	vocab, err := actionlog.VocabularyFromSessions(sessions)
+	if err != nil {
+		return err
+	}
+	docs, err := vocab.EncodeAll(sessions)
+	if err != nil {
+		return err
+	}
+	ens, err := lda.FitEnsemble(docs, vocab.Size(), lda.EnsembleConfig{
+		TopicCounts:  []int{*topics - 3, *topics, *topics + 3},
+		RunsPerCount: 1,
+		Iterations:   100,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	view, err := viz.Build(ens, vocab.Actions(), viz.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(view, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d topics projected, %d matrix cells, %d chord links\n",
+		*out, len(view.Projection), len(view.Matrix), len(view.Links))
+	if *ascii {
+		return view.RenderASCII(os.Stdout, 72, 18)
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := newFlagSet("experiment")
+	id := fs.String("id", "all", "experiment id or 'all'")
+	scale := fs.String("scale", "test", "scale: test|bench|default|paper")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("building %s-scale setup (seed %d)...\n", sc, *seed)
+	setup, err := experiments.NewSetup(sc, *seed)
+	if err != nil {
+		return err
+	}
+	var results []*experiments.Result
+	if *id == "all" {
+		results, err = experiments.RunAll(setup)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := experiments.Run(*id, setup)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	for _, res := range results {
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := newFlagSet("inspect")
+	modelDir := fs.String("model", "./model", "model directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	det, err := core.LoadDetector(*modelDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s\n", *modelDir)
+	fmt.Printf("vocabulary: %d actions\n", det.Vocabulary().Size())
+	fmt.Printf("clusters: %d\n", det.ClusterCount())
+	for i, c := range det.Clusters() {
+		fmt.Printf("  cluster %2d: %5d training sessions, %4d support vectors, lm vocab %d\n",
+			i, c.TrainSize, c.Router.SupportVectorCount(), c.LM.VocabSize())
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command misusectl is the command-line interface of the misuse-detection
+// library: it generates simulated portal logs, trains the full pipeline
+// (informed clustering + per-cluster OC-SVM and LSTM models), scores
+// session logs, replays sessions through the online monitor, and
+// regenerates every figure of the paper's evaluation.
+//
+// Usage:
+//
+//	misusectl generate   -out events.jsonl [-divisor 10] [-seed 1]
+//	misusectl train      -data events.jsonl -model ./model [-clusters 13] [-scale default]
+//	misusectl score      -data events.jsonl -model ./model [-top 20]
+//	misusectl monitor    -data events.jsonl -model ./model
+//	misusectl experiment -id fig5 [-scale test] [-seed 42]  (or -id all)
+//	misusectl inspect    -model ./model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "misusectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "score":
+		return cmdScore(args[1:])
+	case "monitor":
+		return cmdMonitor(args[1:])
+	case "viz":
+		return cmdViz(args[1:])
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `misusectl - system misuse detection via informed behavior clustering and modeling
+
+subcommands:
+  generate    generate a simulated portal event log (JSONL)
+  train       train the detection pipeline on an event log
+  score       score the sessions of an event log against a trained model
+  monitor     replay an event log through the online monitor
+  viz         build the visual interface artifacts (t-SNE projection, topic-action matrix, chord diagram)
+  experiment  regenerate a paper figure (fig3 fig4 fig5 fig6 fig7 fig8-9 fig10 fig11-12 top20 ablation-* extension-*) or 'all'
+  inspect     describe a saved model directory`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

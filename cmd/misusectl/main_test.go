@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIEndToEnd exercises the full tool flow: generate a small corpus,
+// train a test-scale model, inspect it, score the corpus, and replay it
+// through the monitor.
+func TestCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	model := filepath.Join(dir, "model")
+
+	if err := run([]string{"generate", "-out", events, "-divisor", "60", "-seed", "3", "-misuse", "2"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(events); err != nil {
+		t.Fatalf("event log missing: %v", err)
+	}
+	if err := run([]string{"train", "-data", events, "-model", model, "-clusters", "4", "-scale", "test", "-seed", "2"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(model, "manifest.json")); err != nil {
+		t.Fatalf("model manifest missing: %v", err)
+	}
+	if err := run([]string{"inspect", "-model", model}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := run([]string{"score", "-data", events, "-model", model, "-top", "5"}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	if err := run([]string{"score", "-data", events, "-model", model, "-top", "3", "-json"}); err != nil {
+		t.Fatalf("score json: %v", err)
+	}
+	if err := run([]string{"monitor", "-data", events, "-model", model}); err != nil {
+		t.Fatalf("monitor: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand must fail")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand must fail")
+	}
+	if err := run([]string{"train"}); err == nil {
+		t.Fatal("train without -data must fail")
+	}
+	if err := run([]string{"score"}); err == nil {
+		t.Fatal("score without -data must fail")
+	}
+	if err := run([]string{"monitor"}); err == nil {
+		t.Fatal("monitor without -data must fail")
+	}
+	if err := run([]string{"experiment", "-scale", "bogus"}); err == nil {
+		t.Fatal("bad scale must fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal("help must succeed")
+	}
+}
+
+func TestCLIViz(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.jsonl")
+	view := filepath.Join(dir, "view.json")
+	if err := run([]string{"generate", "-out", events, "-divisor", "100", "-seed", "5"}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"viz", "-data", events, "-out", view, "-topics", "6", "-ascii=false"}); err != nil {
+		t.Fatalf("viz: %v", err)
+	}
+	if _, err := os.Stat(view); err != nil {
+		t.Fatalf("view JSON missing: %v", err)
+	}
+	if err := run([]string{"viz"}); err == nil {
+		t.Fatal("viz without -data must fail")
+	}
+}

@@ -1,0 +1,62 @@
+// Command misused is the online monitoring daemon: it loads a trained
+// detector, listens on TCP, accepts newline-delimited JSON events from log
+// shippers, reconstructs sessions on the fly, scores every action through
+// the per-cluster language models, and writes alarm lines back to the
+// client as soon as suspicious behavior is observed — the realtime use
+// case of the paper's §IV-C.
+//
+// Protocol: each line sent by a client is one actionlog.Event in JSON;
+// each line written back is an alarm notice in JSON. Sessions are expired
+// after an idle timeout to bound memory.
+//
+// Usage:
+//
+//	misused -model ./model [-listen :7074] [-idle 30m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"misusedetect/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("misused", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	modelDir := fs.String("model", "./model", "trained model directory")
+	listen := fs.String("listen", "127.0.0.1:7074", "TCP listen address")
+	idle := fs.Duration("idle", 30*time.Minute, "session idle expiry")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(*modelDir, *listen, *idle); err != nil {
+		fmt.Fprintln(os.Stderr, "misused:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelDir, listen string, idle time.Duration) error {
+	det, err := core.LoadDetector(modelDir)
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     listen,
+		IdleExpiry: idle,
+		Monitor:    core.DefaultMonitorConfig(),
+		Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("misused listening on %s (model %s, %d clusters)\n", srv.Addr(), modelDir, det.ClusterCount())
+	return srv.Serve(ctx)
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+)
+
+// ServerConfig configures the monitoring daemon.
+type ServerConfig struct {
+	// Listen is the TCP address to bind.
+	Listen string
+	// IdleExpiry evicts session monitors that have not seen an event
+	// for this long.
+	IdleExpiry time.Duration
+	// Monitor is the per-session alarm configuration.
+	Monitor core.MonitorConfig
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Alarm is the JSON line written back to clients when a session looks
+// suspicious.
+type Alarm struct {
+	Time       time.Time `json:"time"`
+	SessionID  string    `json:"session_id"`
+	User       string    `json:"user"`
+	Kind       string    `json:"kind"`
+	Position   int       `json:"position"`
+	Cluster    int       `json:"cluster"`
+	Likelihood float64   `json:"likelihood"`
+}
+
+// Server is the TCP ingestion daemon.
+type Server struct {
+	cfg ServerConfig
+	det *core.Detector
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*trackedSession
+	wg       sync.WaitGroup
+}
+
+type trackedSession struct {
+	// mu serializes monitor access: two shippers may carry events for
+	// the same session.
+	mu       sync.Mutex
+	monitor  *core.SessionMonitor
+	lastSeen time.Time
+	user     string
+}
+
+// observe feeds one action to the session's monitor.
+func (t *trackedSession) observe(action string) (core.MonitorStep, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.monitor.ObserveAction(action)
+}
+
+// NewServer binds the listen address and prepares the daemon.
+func NewServer(det *core.Detector, cfg ServerConfig) (*Server, error) {
+	if cfg.IdleExpiry <= 0 {
+		return nil, fmt.Errorf("misused: IdleExpiry must be positive, got %v", cfg.IdleExpiry)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("misused: listen %s: %w", cfg.Listen, err)
+	}
+	return &Server{
+		cfg:      cfg,
+		det:      det,
+		ln:       ln,
+		sessions: make(map[string]*trackedSession),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until the context is canceled, then closes
+// the listener and waits for every connection handler to finish.
+func (s *Server) Serve(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	sweeper := time.NewTicker(s.cfg.IdleExpiry / 2)
+	defer sweeper.Stop()
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-sweeper.C:
+				s.expireIdle()
+			}
+		}
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				s.wg.Wait()
+				<-done
+				return nil
+			default:
+				return fmt.Errorf("misused: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// handle processes one client connection: parse events, feed the matching
+// session monitor, write back alarms.
+func (s *Server) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	go func() {
+		// Unblock reads on shutdown.
+		<-ctx.Done()
+		conn.SetReadDeadline(time.Now())
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev actionlog.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			s.logf("bad event from %s: %v", conn.RemoteAddr(), err)
+			continue
+		}
+		alarms, err := s.observe(ev)
+		if err != nil {
+			s.logf("session %s: %v", ev.SessionID, err)
+			continue
+		}
+		for _, a := range alarms {
+			if err := enc.Encode(&a); err != nil {
+				s.logf("write alarm to %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+		}
+	}
+}
+
+// observe feeds one event to its session monitor and returns any alarms.
+func (s *Server) observe(ev actionlog.Event) ([]Alarm, error) {
+	if ev.SessionID == "" || ev.Action == "" {
+		return nil, fmt.Errorf("misused: event missing session_id or action")
+	}
+	s.mu.Lock()
+	tracked, ok := s.sessions[ev.SessionID]
+	if !ok {
+		mon, err := s.det.NewSessionMonitor(s.cfg.Monitor)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		tracked = &trackedSession{monitor: mon, user: ev.User}
+		s.sessions[ev.SessionID] = tracked
+	}
+	tracked.lastSeen = time.Now()
+	s.mu.Unlock()
+
+	stepResult, err := tracked.observe(ev.Action)
+	if err != nil {
+		return nil, err
+	}
+	var alarms []Alarm
+	for _, kind := range stepResult.Alarms {
+		alarms = append(alarms, Alarm{
+			Time:       ev.Time,
+			SessionID:  ev.SessionID,
+			User:       ev.User,
+			Kind:       kind.String(),
+			Position:   stepResult.Position,
+			Cluster:    stepResult.Cluster,
+			Likelihood: stepResult.Smoothed,
+		})
+	}
+	return alarms, nil
+}
+
+// expireIdle drops sessions that have been quiet past the expiry.
+func (s *Server) expireIdle() {
+	cutoff := time.Now().Add(-s.cfg.IdleExpiry)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, t := range s.sessions {
+		if t.lastSeen.Before(cutoff) {
+			delete(s.sessions, id)
+		}
+	}
+}
+
+// SessionCount reports the number of live session monitors.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+)
+
+// tinyDetector trains a minimal two-behavior detector for server tests.
+func tinyDetector(t *testing.T) (*core.Detector, []*actionlog.Session) {
+	t.Helper()
+	names := []string{"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"}
+	vocab, err := actionlog.NewVocabulary(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var sessions []*actionlog.Session
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 25; i++ {
+			n := 6 + rng.Intn(6)
+			actions := make([]string, n)
+			for j := range actions {
+				actions[j] = names[c*4+j%4]
+			}
+			sessions = append(sessions, &actionlog.Session{
+				ID: names[c*4] + "-sess", User: "u", Actions: actions, Cluster: c,
+			})
+		}
+	}
+	clusters, err := core.GroundTruthClustering(sessions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ScaledConfig(vocab.Size(), 2, 12, 20, 1)
+	cfg.LM.Trainer.LearningRate = 0.01
+	cfg.LM.Network.DropoutRate = 0
+	cfg.RouteVoteActions = 5
+	det, err := core.TrainDetector(cfg, vocab, clusters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, sessions
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	det, _ := tinyDetector(t)
+	if _, err := NewServer(det, ServerConfig{Listen: "127.0.0.1:0", IdleExpiry: 0}); err == nil {
+		t.Fatal("zero IdleExpiry must fail")
+	}
+	if _, err := NewServer(det, ServerConfig{Listen: "256.0.0.1:bad", IdleExpiry: time.Minute}); err == nil {
+		t.Fatal("bad listen address must fail")
+	}
+}
+
+func TestServerDetectsAnomalousStream(t *testing.T) {
+	det, sessions := tinyDetector(t)
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		IdleExpiry: time.Minute,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx) }()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+
+	// A normal session first.
+	base := time.Date(2019, 3, 1, 10, 0, 0, 0, time.UTC)
+	for i, a := range sessions[0].Actions {
+		ev := actionlog.Event{Time: base.Add(time.Duration(i) * time.Second), User: "alice", SessionID: "normal-1", Action: a}
+		if err := enc.Encode(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Then an anomalous session: normal prefix, then noise.
+	rng := rand.New(rand.NewSource(9))
+	vocabNames := det.Vocabulary().Actions()
+	var anomalous []string
+	anomalous = append(anomalous, sessions[0].Actions...)
+	for i := 0; i < 40; i++ {
+		anomalous = append(anomalous, vocabNames[rng.Intn(len(vocabNames))])
+	}
+	for i, a := range anomalous {
+		ev := actionlog.Event{Time: base.Add(time.Duration(100+i) * time.Second), User: "mallory", SessionID: "bad-1", Action: a}
+		if err := enc.Encode(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read alarms until one arrives for bad-1 (bounded wait).
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sc := bufio.NewScanner(conn)
+	foundBad := false
+	for sc.Scan() {
+		var a Alarm
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			t.Fatalf("bad alarm line %q: %v", sc.Text(), err)
+		}
+		if a.SessionID == "normal-1" {
+			t.Fatalf("false alarm on normal session: %+v", a)
+		}
+		if a.SessionID == "bad-1" {
+			foundBad = true
+			break
+		}
+	}
+	if !foundBad {
+		t.Fatal("no alarm received for the anomalous session")
+	}
+	if n := srv.SessionCount(); n != 2 {
+		t.Fatalf("server tracks %d sessions, want 2", n)
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestServerIgnoresMalformedEvents(t *testing.T) {
+	det, _ := tinyDetector(t)
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		IdleExpiry: time.Minute,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("{not json}\n{\"action\":\"\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A valid event after garbage must still be processed.
+	ev := actionlog.Event{Time: time.Now(), User: "u", SessionID: "s", Action: "a0"}
+	data, _ := json.Marshal(&ev)
+	if _, err := conn.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("valid event after garbage was not processed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}
+
+func TestExpireIdle(t *testing.T) {
+	det, _ := tinyDetector(t)
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		IdleExpiry: 10 * time.Millisecond,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.ln.Close()
+	if _, err := srv.observe(actionlog.Event{SessionID: "s", Action: "a0", User: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.SessionCount() != 1 {
+		t.Fatal("session not tracked")
+	}
+	time.Sleep(20 * time.Millisecond)
+	srv.expireIdle()
+	if srv.SessionCount() != 0 {
+		t.Fatal("idle session not expired")
+	}
+	if _, err := srv.observe(actionlog.Event{SessionID: "", Action: "a0"}); err == nil {
+		t.Fatal("missing session_id must fail")
+	}
+}

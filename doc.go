@@ -1,0 +1,26 @@
+// Package misusedetect is a from-scratch Go reproduction of "System
+// Misuse Detection via Informed Behavior Clustering and Modeling"
+// (Adilova, Natious, Chen, Thonnard, Kamp; DSN 2019, arXiv:1907.00874).
+//
+// The library models normal behavior in a system's interaction logs and
+// flags outlying sessions. Historical sessions are topic-modeled with an
+// LDA ensemble, a security expert (simulated in package
+// internal/expert, auditable through the visual-interface artifacts of
+// package internal/viz) groups the topics into semantically meaningful
+// behavior clusters, and each cluster receives a one-class SVM for
+// routing plus an LSTM language model over action sequences for
+// normality scoring. New sessions are routed to the best-matching
+// cluster and scored action by action in real time.
+//
+// Entry points:
+//
+//   - internal/core: the full pipeline (training, scoring, online
+//     monitoring, model persistence)
+//   - internal/experiments: regenerates every figure of the paper
+//   - cmd/misusectl: command-line interface
+//   - cmd/misused: TCP log-ingestion monitoring daemon
+//   - examples/: runnable walkthroughs
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package misusedetect

@@ -1,0 +1,238 @@
+// Baselines example: compares the paper's per-cluster LSTM models against
+// every baseline in the repository on the same test split — the global
+// LSTM (the paper's strong baseline), the size-matched arbitrary-subset
+// LSTM (the paper's weak baseline), an interpolated trigram language
+// model (Chen & Goodman), and the handcrafted-feature detector (Kruegel &
+// Vigna style) — on both next-action accuracy and real-vs-random
+// separation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
+	"misusedetect/internal/experiments"
+	"misusedetect/internal/logsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baselines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("building test-scale setup (corpus, clusters, cluster models)...")
+	setup, err := experiments.NewSetup(experiments.ScaleTest, 11)
+	if err != nil {
+		return err
+	}
+	if err := setup.TrainBaselines(); err != nil {
+		return err
+	}
+	vocab := setup.Corpus.Vocabulary
+
+	// Assemble the united train and test sets.
+	var train, test []*actionlog.Session
+	for _, sp := range setup.Splits {
+		train = append(train, sp.Train...)
+		test = append(test, sp.Test...)
+	}
+	encTrain, err := vocab.EncodeAll(actionlog.FilterMinLength(train, 2))
+	if err != nil {
+		return err
+	}
+	encTest, err := vocab.EncodeAll(actionlog.FilterMinLength(test, 2))
+	if err != nil {
+		return err
+	}
+
+	// Classical baselines.
+	ngram, err := baseline.TrainNGram(encTrain, vocab.Size(), baseline.DefaultNGramConfig())
+	if err != nil {
+		return err
+	}
+	hand, err := baseline.TrainHandcrafted(encTrain, vocab.Size())
+	if err != nil {
+		return err
+	}
+	hmmCfg := baseline.DefaultHMMConfig(5)
+	hmmCfg.Iterations = 6
+	hmm, err := baseline.TrainHMM(encTrain, vocab.Size(), hmmCfg)
+	if err != nil {
+		return err
+	}
+
+	// Accuracy comparison on the united test set.
+	fmt.Println("\nnext-action accuracy on the united test set:")
+	clusterAcc, err := pipelineAccuracy(setup, encTest)
+	if err != nil {
+		return err
+	}
+	globalAcc, err := setup.GlobalLM.CorpusAccuracy(encTest)
+	if err != nil {
+		return err
+	}
+	ngramAcc, err := ngram.CorpusAccuracy(encTest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %.4f\n", "per-cluster LSTMs (routed)", clusterAcc)
+	fmt.Printf("  %-34s %.4f\n", "global LSTM (strong baseline)", globalAcc)
+	fmt.Printf("  %-34s %.4f\n", "interpolated trigram", ngramAcc)
+
+	// Real-vs-random separation for every normality scorer.
+	random, err := logsim.RandomSessions(vocab, 60, 5, 25, 77)
+	if err != nil {
+		return err
+	}
+	encRandom, err := vocab.EncodeAll(random)
+	if err != nil {
+		return err
+	}
+	if len(encTest) > 60 {
+		encTest = encTest[:60]
+	}
+	fmt.Println("\nreal-vs-random normality separation (higher ratio = better):")
+
+	realPipe, err := avgPipelineLikelihood(setup, encTest)
+	if err != nil {
+		return err
+	}
+	randPipe, err := avgPipelineLikelihood(setup, encRandom)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s real %.4f random %.4f ratio %.1fx\n",
+		"per-cluster LSTMs", realPipe, randPipe, ratio(realPipe, randPipe))
+
+	realNG, randNG := avgNGram(ngram, encTest), avgNGram(ngram, encRandom)
+	fmt.Printf("  %-34s real %.4f random %.4f ratio %.1fx\n",
+		"interpolated trigram", realNG, randNG, ratio(realNG, randNG))
+
+	realHand, randHand := avgHand(hand, encTest), avgHand(hand, encRandom)
+	fmt.Printf("  %-34s real %.4f random %.4f ratio %.1fx\n",
+		"handcrafted features", realHand, randHand, ratio(realHand, randHand))
+
+	realHMM, randHMM := avgHMM(hmm, encTest), avgHMM(hmm, encRandom)
+	fmt.Printf("  %-34s real %.2f random %.2f (per-action log-likelihood; higher = more normal)\n",
+		"discrete HMM", realHMM, randHMM)
+
+	fmt.Println(`
+note: at this tiny test scale the trigram is hard to beat - the simulated
+portal is highly routine and the LSTMs see only ~2 training epochs. Run
+the experiment harness at -scale default or paper to see the LSTM models
+close the gap and the paper's cluster-vs-baseline ordering emerge.`)
+	return nil
+}
+
+// pipelineAccuracy routes each test session and uses the routed cluster
+// model for accuracy, pooling over sessions.
+func pipelineAccuracy(setup *experiments.Setup, encTest [][]int) (float64, error) {
+	correct, total := 0.0, 0.0
+	clusters := setup.Detector.Clusters()
+	for _, e := range encTest {
+		if len(e) < 2 {
+			continue
+		}
+		c, err := setup.Detector.RouteByVote(e)
+		if err != nil {
+			return 0, err
+		}
+		sc, err := clusters[c].LM.ScoreSession(e)
+		if err != nil {
+			return 0, err
+		}
+		correct += sc.Accuracy * float64(sc.Steps)
+		total += float64(sc.Steps)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("no scorable sessions")
+	}
+	return correct / total, nil
+}
+
+func avgPipelineLikelihood(setup *experiments.Setup, enc [][]int) (float64, error) {
+	clusters := setup.Detector.Clusters()
+	sum, n := 0.0, 0
+	for _, e := range enc {
+		if len(e) < 2 {
+			continue
+		}
+		c, err := setup.Detector.RouteByVote(e)
+		if err != nil {
+			return 0, err
+		}
+		sc, err := clusters[c].LM.ScoreSession(e)
+		if err != nil {
+			return 0, err
+		}
+		sum += sc.AvgLikelihood
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no scorable sessions")
+	}
+	return sum / float64(n), nil
+}
+
+func avgNGram(m *baseline.NGram, enc [][]int) float64 {
+	sum, n := 0.0, 0
+	for _, e := range enc {
+		if len(e) < 2 {
+			continue
+		}
+		if l, err := m.AvgLikelihood(e); err == nil {
+			sum += l
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func avgHand(h *baseline.Handcrafted, enc [][]int) float64 {
+	sum, n := 0.0, 0
+	for _, e := range enc {
+		if len(e) == 0 {
+			continue
+		}
+		if s, err := h.Normality(e); err == nil {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func avgHMM(m *baseline.HMM, enc [][]int) float64 {
+	sum, n := 0.0, 0
+	for _, e := range enc {
+		if len(e) == 0 {
+			continue
+		}
+		if ll, err := m.AvgLogLikelihood(e); err == nil {
+			sum += ll
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,90 @@
+// Online-monitor example: the paper's realtime use case (§IV-C). A
+// detector watches a session action by action; when an insider who
+// started with normal helpdesk work begins mass-deleting user profiles,
+// the per-action likelihood collapses and the monitor raises alarms.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"misusedetect/internal/core"
+	"misusedetect/internal/logsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "online-monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	corpus, err := logsim.Generate(logsim.ScaledConfig(2, 30))
+	if err != nil {
+		return err
+	}
+	clusters, err := core.GroundTruthClustering(corpus.Sessions, 2)
+	if err != nil {
+		return err
+	}
+	cfg := core.ScaledConfig(corpus.Vocabulary.Size(), len(clusters), 24, 8, 3)
+	cfg.LM.Trainer.LearningRate = 0.01
+	detector, err := core.TrainDetector(cfg, corpus.Vocabulary, clusters, nil)
+	if err != nil {
+		return err
+	}
+
+	// The insider session: a legitimate-looking password-helpdesk prefix
+	// followed by a mass-deletion spree.
+	normalPrefix := []string{
+		"ActionSearchUsr", "ActionDisplayUser", "ActionResetPwd",
+		"ActionSearchUsr", "ActionDisplayUser", "ActionResetPwd",
+		"ActionSearchUsr", "ActionResetPwdUnlock",
+	}
+	spree, err := logsim.MisuseSession(logsim.MisuseMassDeletion, 8, 41)
+	if err != nil {
+		return err
+	}
+	session := append(append([]string{}, normalPrefix...), spree.Actions...)
+
+	// Operators calibrate the alarm floor to their model strength: with
+	// this small training scale, normal sessions cruise near 0.25
+	// smoothed likelihood, so a 0.12 floor separates cleanly.
+	mcfg := core.DefaultMonitorConfig()
+	mcfg.LikelihoodFloor = 0.12
+	mcfg.WarmupActions = 6
+	mon, err := detector.NewSessionMonitor(mcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("pos  action                        likelihood  smoothed  alarms")
+	firstAlarm := -1
+	for _, action := range session {
+		step, err := mon.ObserveAction(action)
+		if err != nil {
+			return err
+		}
+		alarms := ""
+		if len(step.Alarms) > 0 {
+			var kinds []string
+			for _, k := range step.Alarms {
+				kinds = append(kinds, k.String())
+			}
+			alarms = "<< " + strings.Join(kinds, ",")
+			if firstAlarm < 0 {
+				firstAlarm = step.Position
+			}
+		}
+		fmt.Printf("%3d  %-28s  %10.4f  %8.4f  %s\n",
+			step.Position, action, step.Likelihood, step.Smoothed, alarms)
+	}
+	if firstAlarm >= 0 {
+		fmt.Printf("\nfirst alarm at position %d of %d — the operator is paged while the spree is still running\n",
+			firstAlarm, len(session))
+	} else {
+		fmt.Println("\nno alarm raised (try a larger training scale)")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest end-to-end use of the library. It simulates a
+// month of portal logs, trains the informed-clustering pipeline (LDA
+// ensemble -> simulated expert -> per-cluster OC-SVM + LSTM), and scores
+// a normal and a suspicious session.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"misusedetect/internal/core"
+	"misusedetect/internal/logsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Record (here: simulate) historical normal behavior.
+	corpus, err := logsim.Generate(logsim.ScaledConfig(1, 30)) // ~500 sessions
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d sessions over %d actions\n", len(corpus.Sessions), corpus.Vocabulary.Size())
+
+	// 2. Informed clustering: LDA ensemble + (simulated) expert selection.
+	cfg := core.ScaledConfig(corpus.Vocabulary.Size(), 6, 16, 4, 7)
+	cfg.LM.Trainer.LearningRate = 0.01
+	clustering, err := core.ClusterHistory(cfg, corpus.Vocabulary, corpus.Sessions)
+	if err != nil {
+		return err
+	}
+	parts, err := clustering.Partition()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("expert selection produced %d behavior clusters\n", len(parts))
+
+	// 3. Train one OC-SVM + one LSTM language model per cluster.
+	detector, err := core.TrainDetector(cfg, corpus.Vocabulary, parts, nil)
+	if err != nil {
+		return err
+	}
+
+	// 4. Score sessions: normal history vs a scripted misuse session.
+	normal := corpus.Sessions[0]
+	rep, err := detector.ScoreSession(normal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("normal session %-14s -> cluster %d, avg likelihood %.4f, avg loss %.3f\n",
+		normal.ID, rep.Cluster, rep.Score.AvgLikelihood, rep.Score.AvgLoss)
+
+	misuse, err := logsim.MisuseSession(logsim.MisuseMassDeletion, 6, 99)
+	if err != nil {
+		return err
+	}
+	rep2, err := detector.ScoreSession(misuse)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("misuse session %-14s -> cluster %d, avg likelihood %.4f, avg loss %.3f\n",
+		misuse.ID, rep2.Cluster, rep2.Score.AvgLikelihood, rep2.Score.AvgLoss)
+
+	if rep2.Score.AvgLikelihood < rep.Score.AvgLikelihood {
+		fmt.Println("=> the misuse session is less normal than the historical one, as expected")
+	}
+	return nil
+}

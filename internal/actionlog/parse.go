@@ -1,0 +1,131 @@
+package actionlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Event is one raw log line from the monitored system: a user performed an
+// action at a point in time within a session. This mirrors the
+// login-to-logout session logging the paper describes.
+type Event struct {
+	Time      time.Time `json:"time"`
+	User      string    `json:"user"`
+	SessionID string    `json:"session_id"`
+	Action    string    `json:"action"`
+}
+
+// ParseEvents reads newline-delimited JSON events from r. Blank lines are
+// skipped; any malformed line aborts the parse with a line-numbered error,
+// because silently dropping log lines would bias the behavior models.
+func ParseEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("actionlog: parse line %d: %w", line, err)
+		}
+		if ev.Action == "" {
+			return nil, fmt.Errorf("actionlog: parse line %d: missing action", line)
+		}
+		if ev.SessionID == "" {
+			return nil, fmt.Errorf("actionlog: parse line %d: missing session_id", line)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("actionlog: read events: %w", err)
+	}
+	return events, nil
+}
+
+// WriteEvents writes events as newline-delimited JSON, the inverse of
+// ParseEvents.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("actionlog: write event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("actionlog: flush events: %w", err)
+	}
+	return nil
+}
+
+// Reconstruct groups raw events into sessions: events sharing a session ID
+// become one session ordered by timestamp (ties keep log order, which is
+// what a real collector preserves). Sessions are returned ordered by start
+// time, then by ID for determinism.
+func Reconstruct(events []Event) []*Session {
+	type acc struct {
+		order  int
+		events []Event
+	}
+	byID := make(map[string]*acc)
+	for _, ev := range events {
+		a, ok := byID[ev.SessionID]
+		if !ok {
+			a = &acc{order: len(byID)}
+			byID[ev.SessionID] = a
+		}
+		a.events = append(a.events, ev)
+	}
+	sessions := make([]*Session, 0, len(byID))
+	for id, a := range byID {
+		evs := a.events
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+		s := &Session{
+			ID:      id,
+			User:    evs[0].User,
+			Start:   evs[0].Time,
+			Cluster: -1,
+			Actions: make([]string, len(evs)),
+		}
+		for i, ev := range evs {
+			s.Actions[i] = ev.Action
+		}
+		sessions = append(sessions, s)
+	}
+	sort.Slice(sessions, func(i, j int) bool {
+		if !sessions[i].Start.Equal(sessions[j].Start) {
+			return sessions[i].Start.Before(sessions[j].Start)
+		}
+		return sessions[i].ID < sessions[j].ID
+	})
+	return sessions
+}
+
+// Flatten converts sessions back into a time-ordered event stream, e.g. to
+// replay a corpus against the online monitor.
+func Flatten(sessions []*Session) []Event {
+	var events []Event
+	for _, s := range sessions {
+		for i, a := range s.Actions {
+			events = append(events, Event{
+				// Synthesize one-second spacing when replaying; real
+				// timestamps are preserved by the parse/reconstruct path.
+				Time:      s.Start.Add(time.Duration(i) * time.Second),
+				User:      s.User,
+				SessionID: s.ID,
+				Action:    a,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	return events
+}

@@ -1,0 +1,100 @@
+// Package actionlog defines the data model of the paper: systems expose a
+// fixed set of named actions, users interact in sessions (sequences of
+// actions), and sessions are logged for investigation. The package provides
+// the action vocabulary, session containers, raw-event parsing and session
+// reconstruction, dataset splitting (70/15/15 in the paper), and the
+// moving-window batching used to feed the LSTM language models.
+package actionlog
+
+import (
+	"fmt"
+	"time"
+
+	"misusedetect/internal/tensor"
+)
+
+// Session is one logged interaction with the system: everything a user did
+// between logging in and logging out, in order.
+type Session struct {
+	// ID identifies the session in the raw logs.
+	ID string `json:"id"`
+	// User is the account that performed the session.
+	User string `json:"user"`
+	// Start is the wall-clock time of the first action.
+	Start time.Time `json:"start"`
+	// Actions is the ordered sequence of action names.
+	Actions []string `json:"actions"`
+	// Cluster is the ground-truth behavior cluster when known (simulated
+	// data carries it; parsed production logs leave it -1).
+	Cluster int `json:"cluster"`
+}
+
+// Len returns the number of actions in the session.
+func (s *Session) Len() int { return len(s.Actions) }
+
+// Clone returns a deep copy of the session.
+func (s *Session) Clone() *Session {
+	out := *s
+	out.Actions = make([]string, len(s.Actions))
+	copy(out.Actions, s.Actions)
+	return &out
+}
+
+// FilterMinLength returns the sessions with at least min actions. The paper
+// eliminates sessions of fewer than two actions because they have no
+// (observed, predicted) pair to learn from.
+func FilterMinLength(sessions []*Session, min int) []*Session {
+	out := make([]*Session, 0, len(sessions))
+	for _, s := range sessions {
+		if s.Len() >= min {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Lengths returns the session lengths as a vector, the raw material of the
+// paper's Figure 3.
+func Lengths(sessions []*Session) tensor.Vector {
+	v := tensor.NewVector(len(sessions))
+	for i, s := range sessions {
+		v[i] = float64(s.Len())
+	}
+	return v
+}
+
+// LengthStats summarizes a corpus the way the paper reports it: average
+// length, a chosen percentile, and the maximum.
+type LengthStats struct {
+	Count      int     `json:"count"`
+	Mean       float64 `json:"mean"`
+	Percentile float64 `json:"percentile"`
+	PctValue   float64 `json:"pct_value"`
+	Max        float64 `json:"max"`
+}
+
+// ComputeLengthStats returns corpus length statistics with the given
+// percentile (the paper uses the 98th).
+func ComputeLengthStats(sessions []*Session, pct float64) (LengthStats, error) {
+	if len(sessions) == 0 {
+		return LengthStats{}, fmt.Errorf("actionlog: no sessions")
+	}
+	lens := Lengths(sessions)
+	pv, err := tensor.Percentile(lens, pct)
+	if err != nil {
+		return LengthStats{}, fmt.Errorf("actionlog: length stats: %w", err)
+	}
+	maxLen := lens[0]
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return LengthStats{
+		Count:      len(sessions),
+		Mean:       tensor.Mean(lens),
+		Percentile: pct,
+		PctValue:   pv,
+		Max:        maxLen,
+	}, nil
+}

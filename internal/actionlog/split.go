@@ -1,0 +1,79 @@
+package actionlog
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split is a train/validation/test partition of a session corpus. The paper
+// uses 70/15/15 per cluster.
+type Split struct {
+	Train      []*Session
+	Validation []*Session
+	Test       []*Session
+}
+
+// SplitFractions holds the partition proportions; they must be positive for
+// train and non-negative otherwise, and sum to 1.
+type SplitFractions struct {
+	Train      float64
+	Validation float64
+	Test       float64
+}
+
+// PaperSplit is the 70/15/15 partition used throughout the paper.
+var PaperSplit = SplitFractions{Train: 0.70, Validation: 0.15, Test: 0.15}
+
+// Validate checks the fractions are a proper partition.
+func (f SplitFractions) Validate() error {
+	if f.Train <= 0 || f.Validation < 0 || f.Test < 0 {
+		return fmt.Errorf("actionlog: invalid split fractions %+v", f)
+	}
+	sum := f.Train + f.Validation + f.Test
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("actionlog: split fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// SplitSessions shuffles the sessions with the given seed and partitions
+// them according to f. The input slice is not modified.
+func SplitSessions(sessions []*Session, f SplitFractions, seed int64) (Split, error) {
+	if err := f.Validate(); err != nil {
+		return Split{}, err
+	}
+	shuffled := make([]*Session, len(sessions))
+	copy(shuffled, sessions)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	n := len(shuffled)
+	nTrain := int(float64(n) * f.Train)
+	nVal := int(float64(n) * f.Validation)
+	if nTrain > n {
+		nTrain = n
+	}
+	if nTrain+nVal > n {
+		nVal = n - nTrain
+	}
+	return Split{
+		Train:      shuffled[:nTrain],
+		Validation: shuffled[nTrain : nTrain+nVal],
+		Test:       shuffled[nTrain+nVal:],
+	}, nil
+}
+
+// SplitByCluster partitions each cluster's session list independently and
+// returns per-cluster splits, mirroring the paper's per-cluster
+// train/validation/test datasets.
+func SplitByCluster(clusters [][]*Session, f SplitFractions, seed int64) ([]Split, error) {
+	out := make([]Split, len(clusters))
+	for i, c := range clusters {
+		s, err := SplitSessions(c, f, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: split cluster %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

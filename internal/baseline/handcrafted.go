@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"misusedetect/internal/tensor"
+)
+
+// Handcrafted is the classical anomaly detector built from handcrafted
+// session features that the paper's related-work section describes
+// (Nascimento & Correia 2011, Kruegel & Vigna 2003): session length and
+// the distribution of actions within the session. It models each feature
+// with simple training statistics and scores new sessions by how many
+// standard deviations they deviate.
+type Handcrafted struct {
+	vocab      int
+	lenMean    float64
+	lenStd     float64
+	actionFreq tensor.Vector // global action distribution
+}
+
+// TrainHandcrafted estimates the feature statistics from encoded sessions.
+func TrainHandcrafted(sessions [][]int, vocab int) (*Handcrafted, error) {
+	if vocab < 1 {
+		return nil, fmt.Errorf("baseline: vocab must be >= 1, got %d", vocab)
+	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("baseline: empty training set")
+	}
+	lengths := tensor.NewVector(len(sessions))
+	freq := tensor.NewVector(vocab)
+	var totalActions float64
+	for i, s := range sessions {
+		lengths[i] = float64(len(s))
+		for j, a := range s {
+			if a < 0 || a >= vocab {
+				return nil, fmt.Errorf("baseline: session %d position %d action %d outside vocab", i, j, a)
+			}
+			freq[a]++
+			totalActions++
+		}
+	}
+	if totalActions == 0 {
+		return nil, fmt.Errorf("baseline: all sessions empty")
+	}
+	freq.Scale(1 / totalActions)
+	std := tensor.StdDev(lengths)
+	if std == 0 {
+		std = 1
+	}
+	return &Handcrafted{
+		vocab:      vocab,
+		lenMean:    tensor.Mean(lengths),
+		lenStd:     std,
+		actionFreq: freq,
+	}, nil
+}
+
+// AnomalyScore returns a non-negative anomaly score: 0 is perfectly
+// typical; larger is more anomalous. It combines the length z-score with
+// the chi-square-style divergence of the session's action distribution
+// from the training distribution.
+func (h *Handcrafted) AnomalyScore(session []int) (float64, error) {
+	if len(session) == 0 {
+		return 0, fmt.Errorf("baseline: empty session")
+	}
+	counts := tensor.NewVector(h.vocab)
+	for i, a := range session {
+		if a < 0 || a >= h.vocab {
+			return 0, fmt.Errorf("baseline: position %d action %d outside vocab", i, a)
+		}
+		counts[a]++
+	}
+	n := float64(len(session))
+	lenZ := math.Abs(n-h.lenMean) / h.lenStd
+
+	// Chi-square statistic per action, normalized by session length so
+	// scores are comparable across lengths.
+	var chi float64
+	for a := 0; a < h.vocab; a++ {
+		expected := h.actionFreq[a] * n
+		if expected < 1e-9 {
+			if counts[a] > 0 {
+				// Actions never seen in training are highly anomalous.
+				chi += counts[a] * 10
+			}
+			continue
+		}
+		d := counts[a] - expected
+		chi += d * d / expected
+	}
+	chi /= n
+	return lenZ + chi, nil
+}
+
+// Normality maps the anomaly score into (0, 1], larger = more normal, for
+// comparability with the language-model likelihood measures.
+func (h *Handcrafted) Normality(session []int) (float64, error) {
+	s, err := h.AnomalyScore(session)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (1 + s), nil
+}

@@ -1,0 +1,206 @@
+// Package baseline implements the comparison models of the evaluation:
+// the paper's own two baselines are LSTM language models trained on the
+// whole dataset and on arbitrary size-matched subsets (built from package
+// lm by the core pipeline); this package adds two classical baselines the
+// paper cites — an interpolated n-gram language model (Chen & Goodman
+// 1996) and a handcrafted-feature anomaly detector in the style of
+// Kruegel & Vigna (2003), using session length and action-distribution
+// statistics.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"misusedetect/internal/tensor"
+)
+
+// NGramConfig configures the n-gram language model.
+type NGramConfig struct {
+	// Order is the maximum n-gram length (3 = trigram).
+	Order int
+	// Discount is the absolute-discounting mass in (0,1) redistributed
+	// to lower orders (Chen & Goodman style interpolated smoothing).
+	Discount float64
+}
+
+// DefaultNGramConfig returns an interpolated trigram model.
+func DefaultNGramConfig() NGramConfig { return NGramConfig{Order: 3, Discount: 0.5} }
+
+func (c *NGramConfig) validate() error {
+	if c.Order < 1 {
+		return fmt.Errorf("baseline: Order must be >= 1, got %d", c.Order)
+	}
+	if c.Discount <= 0 || c.Discount >= 1 {
+		return fmt.Errorf("baseline: Discount %v outside (0,1)", c.Discount)
+	}
+	return nil
+}
+
+// NGram is an interpolated absolute-discounting n-gram language model
+// over action indices, the classical counterpart of the LSTM models.
+type NGram struct {
+	cfg   NGramConfig
+	vocab int
+	// counts[k] maps a context key of length k to (total, per-action counts).
+	counts []map[string]*contextCount
+}
+
+type contextCount struct {
+	total   float64
+	actions map[int]float64
+}
+
+// TrainNGram fits the model on encoded sessions.
+func TrainNGram(sessions [][]int, vocab int, cfg NGramConfig) (*NGram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if vocab < 1 {
+		return nil, fmt.Errorf("baseline: vocab must be >= 1, got %d", vocab)
+	}
+	m := &NGram{cfg: cfg, vocab: vocab, counts: make([]map[string]*contextCount, cfg.Order)}
+	for k := range m.counts {
+		m.counts[k] = make(map[string]*contextCount)
+	}
+	trained := false
+	for si, s := range sessions {
+		for i, a := range s {
+			if a < 0 || a >= vocab {
+				return nil, fmt.Errorf("baseline: session %d position %d action %d outside vocab", si, i, a)
+			}
+		}
+		if len(s) < 2 {
+			continue
+		}
+		trained = true
+		for i := 1; i < len(s); i++ {
+			for k := 0; k < cfg.Order; k++ {
+				if i-k < 0 {
+					break
+				}
+				key := contextKey(s[i-k : i])
+				cc, ok := m.counts[k][key]
+				if !ok {
+					cc = &contextCount{actions: make(map[int]float64)}
+					m.counts[k][key] = cc
+				}
+				cc.total++
+				cc.actions[s[i]]++
+			}
+		}
+	}
+	if !trained {
+		return nil, fmt.Errorf("baseline: no trainable sessions")
+	}
+	return m, nil
+}
+
+func contextKey(ctx []int) string {
+	// Compact deterministic key; contexts are short (Order-1 <= ~4).
+	b := make([]byte, 0, len(ctx)*3)
+	for _, a := range ctx {
+		b = append(b, byte(a), byte(a>>8), ',')
+	}
+	return string(b)
+}
+
+// Prob returns the smoothed probability of the action following the
+// context: an interpolation of all orders down to the uniform
+// distribution, with absolute discounting at each level.
+func (m *NGram) Prob(context []int, action int) (float64, error) {
+	if action < 0 || action >= m.vocab {
+		return 0, fmt.Errorf("baseline: action %d outside vocab %d", action, m.vocab)
+	}
+	p := 1 / float64(m.vocab) // order-(-1): uniform backstop
+	maxK := m.cfg.Order - 1
+	if len(context) < maxK {
+		maxK = len(context)
+	}
+	for k := 0; k <= maxK; k++ {
+		ctx := context[len(context)-k:]
+		cc, ok := m.counts[k][contextKey(ctx)]
+		if !ok || cc.total == 0 {
+			continue
+		}
+		c := cc.actions[action]
+		distinct := float64(len(cc.actions))
+		d := m.cfg.Discount
+		higher := math.Max(c-d, 0) / cc.total
+		lambda := d * distinct / cc.total
+		p = higher + lambda*p
+	}
+	return p, nil
+}
+
+// StepScores returns the probability of each observed action (positions
+// 1..n-1), mirroring lm.Model.StepScores.
+func (m *NGram) StepScores(session []int) (tensor.Vector, error) {
+	if len(session) < 2 {
+		return nil, fmt.Errorf("baseline: session must have >= 2 actions, got %d", len(session))
+	}
+	out := tensor.NewVector(len(session) - 1)
+	for i := 1; i < len(session); i++ {
+		p, err := m.Prob(session[:i], session[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i-1] = p
+	}
+	return out, nil
+}
+
+// CorpusAccuracy computes pooled next-action argmax accuracy.
+func (m *NGram) CorpusAccuracy(sessions [][]int) (float64, error) {
+	correct, total := 0, 0
+	for _, s := range sessions {
+		if len(s) < 2 {
+			continue
+		}
+		for i := 1; i < len(s); i++ {
+			best, bestP := -1, -1.0
+			for a := 0; a < m.vocab; a++ {
+				p, err := m.Prob(s[:i], a)
+				if err != nil {
+					return 0, err
+				}
+				if p > bestP {
+					best, bestP = a, p
+				}
+			}
+			if best == s[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("baseline: no scorable sessions")
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// AvgLikelihood returns the mean per-action probability over a session.
+func (m *NGram) AvgLikelihood(session []int) (float64, error) {
+	scores, err := m.StepScores(session)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.Mean(scores), nil
+}
+
+// AvgLoss returns the mean per-action cross-entropy over a session.
+func (m *NGram) AvgLoss(session []int) (float64, error) {
+	scores, err := m.StepScores(session)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, p := range scores {
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		s += -math.Log(p)
+	}
+	return s / float64(len(scores)), nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"misusedetect/internal/actionlog"
+)
+
+// CalibrateMonitor sets the monitor's likelihood floor from held-out
+// normal sessions: the floor becomes the targetFPR-quantile of the
+// per-session minimum smoothed likelihood, so roughly a targetFPR
+// fraction of normal sessions would dip below it at their weakest point.
+// This replaces hand-tuned thresholds with the validation-split
+// calibration a deployment needs (the paper leaves the alarm threshold to
+// the operators).
+func (d *Detector) CalibrateMonitor(base MonitorConfig, validation []*actionlog.Session, targetFPR float64) (MonitorConfig, error) {
+	if err := base.validate(); err != nil {
+		return MonitorConfig{}, err
+	}
+	if targetFPR <= 0 || targetFPR >= 1 {
+		return MonitorConfig{}, fmt.Errorf("core: target FPR %v outside (0,1)", targetFPR)
+	}
+	// Collect the minimum post-warmup smoothed likelihood per session
+	// with alarms disabled (floor 0 cannot fire).
+	probe := base
+	probe.LikelihoodFloor = 0
+	probe.TrendWindow = 0
+	var minima []float64
+	for _, sess := range validation {
+		if sess.Len() < d.cfg.MinSessionLength {
+			continue
+		}
+		mon, err := d.NewSessionMonitor(probe)
+		if err != nil {
+			return MonitorConfig{}, err
+		}
+		sessionMin := -1.0
+		for _, a := range sess.Actions {
+			step, err := mon.ObserveAction(a)
+			if err != nil {
+				return MonitorConfig{}, fmt.Errorf("core: calibrate on %s: %w", sess.ID, err)
+			}
+			if step.Position >= probe.WarmupActions && step.Likelihood >= 0 {
+				if sessionMin < 0 || step.Smoothed < sessionMin {
+					sessionMin = step.Smoothed
+				}
+			}
+		}
+		if sessionMin >= 0 {
+			minima = append(minima, sessionMin)
+		}
+	}
+	if len(minima) == 0 {
+		return MonitorConfig{}, fmt.Errorf("core: no usable validation sessions for calibration")
+	}
+	sort.Float64s(minima)
+	idx := int(targetFPR * float64(len(minima)))
+	if idx >= len(minima) {
+		idx = len(minima) - 1
+	}
+	out := base
+	out.LikelihoodFloor = minima[idx]
+	return out, nil
+}

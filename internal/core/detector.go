@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/lm"
+	"misusedetect/internal/nn"
+	"misusedetect/internal/ocsvm"
+	"misusedetect/internal/tensor"
+)
+
+// ClusterModel is one behavior cluster's pair of models: the OC-SVM that
+// recognizes sessions of the cluster and the language model that scores
+// their normality.
+type ClusterModel struct {
+	// Router is the cluster's OC-SVM.
+	Router *ocsvm.Model
+	// LM is the cluster's LSTM language model.
+	LM *lm.Model
+	// TrainSize is the number of training sessions, used for reporting
+	// (the paper orders clusters by size).
+	TrainSize int
+}
+
+// Detector is the trained prediction-phase pipeline: it routes a new
+// session to its behavior cluster via the OC-SVM scores and scores its
+// normality with the routed cluster's language model.
+type Detector struct {
+	cfg        Config
+	vocab      *actionlog.Vocabulary
+	featurizer *ocsvm.Featurizer
+	clusters   []ClusterModel
+}
+
+// TrainDetector fits one OC-SVM and one language model per cluster.
+// clusterTrain holds each cluster's training sessions. The optional
+// progress callback receives "cluster c, epoch stats" lines.
+func TrainDetector(cfg Config, vocab *actionlog.Vocabulary, clusterTrain [][]*actionlog.Session, progress func(cluster int, st nn.EpochStats)) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(clusterTrain) == 0 {
+		return nil, fmt.Errorf("core: no clusters to train on")
+	}
+	feat, err := ocsvm.NewFeaturizer(vocab.Size(), cfg.FeatureMode)
+	if err != nil {
+		return nil, fmt.Errorf("core: build featurizer: %w", err)
+	}
+	d := &Detector{cfg: cfg, vocab: vocab, featurizer: feat}
+	for ci, sessions := range clusterTrain {
+		filtered := actionlog.FilterMinLength(sessions, cfg.MinSessionLength)
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("core: cluster %d has no trainable sessions", ci)
+		}
+		encoded, err := vocab.EncodeAll(filtered)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode cluster %d: %w", ci, err)
+		}
+		features, err := feat.Corpus(encoded)
+		if err != nil {
+			return nil, fmt.Errorf("core: featurize cluster %d: %w", ci, err)
+		}
+		ocCfg := cfg.OCSVM
+		ocCfg.Seed = cfg.OCSVM.Seed + int64(ci)
+		router, err := ocsvm.Train(features, ocCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: train OC-SVM %d: %w", ci, err)
+		}
+		lmCfg := cfg.LM
+		lmCfg.Network.InputSize = vocab.Size()
+		lmCfg.Network.Seed = cfg.LM.Network.Seed + int64(ci)
+		lmCfg.Trainer.Seed = cfg.LM.Trainer.Seed + int64(ci)
+		var cb func(nn.EpochStats)
+		if progress != nil {
+			ci := ci
+			cb = func(st nn.EpochStats) { progress(ci, st) }
+		}
+		model, err := lm.Train(lmCfg, encoded, cb)
+		if err != nil {
+			return nil, fmt.Errorf("core: train LM %d: %w", ci, err)
+		}
+		d.clusters = append(d.clusters, ClusterModel{Router: router, LM: model, TrainSize: len(filtered)})
+	}
+	return d, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Vocabulary returns the detector's action vocabulary.
+func (d *Detector) Vocabulary() *actionlog.Vocabulary { return d.vocab }
+
+// ClusterCount returns the number of behavior clusters.
+func (d *Detector) ClusterCount() int { return len(d.clusters) }
+
+// Clusters returns the per-cluster models (shared storage; callers must
+// not mutate).
+func (d *Detector) Clusters() []ClusterModel { return d.clusters }
+
+// Featurizer returns the session featurizer shared by the OC-SVMs.
+func (d *Detector) Featurizer() *ocsvm.Featurizer { return d.featurizer }
+
+// RouteScores returns every cluster OC-SVM's decision score for the
+// (possibly partial) encoded session.
+func (d *Detector) RouteScores(encoded []int) (tensor.Vector, error) {
+	x, err := d.featurizer.Session(encoded)
+	if err != nil {
+		return nil, fmt.Errorf("core: featurize session: %w", err)
+	}
+	scores := tensor.NewVector(len(d.clusters))
+	for i := range d.clusters {
+		s, err := d.clusters[i].Router.Score(x)
+		if err != nil {
+			return nil, fmt.Errorf("core: route score cluster %d: %w", i, err)
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}
+
+// Route assigns the encoded session to the cluster with the maximal
+// OC-SVM score, the paper's prediction-phase routing.
+func (d *Detector) Route(encoded []int) (int, tensor.Vector, error) {
+	scores, err := d.RouteScores(encoded)
+	if err != nil {
+		return 0, nil, err
+	}
+	return scores.ArgMax(), scores, nil
+}
+
+// RouteByVote assigns the session by the paper's online rule: the OC-SVM
+// vote over the first RouteVoteActions actions ("check the cluster only
+// during first 15 actions and then use the most frequently assigned
+// cluster").
+func (d *Detector) RouteByVote(encoded []int) (int, error) {
+	if len(encoded) == 0 {
+		return 0, fmt.Errorf("core: empty session")
+	}
+	stream := d.featurizer.Stream()
+	votes := make([]int, len(d.clusters))
+	limit := d.cfg.RouteVoteActions
+	if limit > len(encoded) {
+		limit = len(encoded)
+	}
+	for t := 0; t < limit; t++ {
+		x, err := stream.Observe(encoded[t])
+		if err != nil {
+			return 0, fmt.Errorf("core: vote featurize: %w", err)
+		}
+		best, bestS := 0, math.Inf(-1)
+		for i := range d.clusters {
+			s, err := d.clusters[i].Router.Score(x)
+			if err != nil {
+				return 0, fmt.Errorf("core: vote score cluster %d: %w", i, err)
+			}
+			if s > bestS {
+				best, bestS = i, s
+			}
+		}
+		votes[best]++
+	}
+	best, bestV := 0, -1
+	for i, v := range votes {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}
+
+// SessionReport is the scored outcome for one session.
+type SessionReport struct {
+	// SessionID echoes the session.
+	SessionID string
+	// Cluster is the routed behavior cluster.
+	Cluster int
+	// RouterScore is the routed cluster's OC-SVM decision value.
+	RouterScore float64
+	// Score holds the language-model normality measures.
+	Score lm.Score
+}
+
+// ScoreSession routes and scores one session end to end (prediction
+// phase of the paper's Figure 2), using the first-K vote for routing.
+func (d *Detector) ScoreSession(s *actionlog.Session) (SessionReport, error) {
+	encoded, err := d.vocab.Encode(s)
+	if err != nil {
+		return SessionReport{}, fmt.Errorf("core: encode session %s: %w", s.ID, err)
+	}
+	if len(encoded) < d.cfg.MinSessionLength {
+		return SessionReport{}, fmt.Errorf("core: session %s shorter than %d actions", s.ID, d.cfg.MinSessionLength)
+	}
+	cluster, err := d.RouteByVote(encoded)
+	if err != nil {
+		return SessionReport{}, err
+	}
+	scores, err := d.RouteScores(encoded)
+	if err != nil {
+		return SessionReport{}, err
+	}
+	sc, err := d.clusters[cluster].LM.ScoreSession(encoded)
+	if err != nil {
+		return SessionReport{}, fmt.Errorf("core: score session %s: %w", s.ID, err)
+	}
+	return SessionReport{
+		SessionID:   s.ID,
+		Cluster:     cluster,
+		RouterScore: scores[cluster],
+		Score:       sc,
+	}, nil
+}
+
+// ScoreWeighted implements the paper's first future-work extension: a
+// weighted combination of all cluster models' likelihoods, weighted by the
+// softmax of the OC-SVM routing scores, absorbing routing imprecision.
+func (d *Detector) ScoreWeighted(s *actionlog.Session) (float64, error) {
+	encoded, err := d.vocab.Encode(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: encode session %s: %w", s.ID, err)
+	}
+	if len(encoded) < d.cfg.MinSessionLength {
+		return 0, fmt.Errorf("core: session %s shorter than %d actions", s.ID, d.cfg.MinSessionLength)
+	}
+	routeScores, err := d.RouteScores(encoded)
+	if err != nil {
+		return 0, err
+	}
+	weights := tensor.NewVector(len(routeScores))
+	tensor.Softmax(weights, routeScores)
+	var combined float64
+	for i := range d.clusters {
+		sc, err := d.clusters[i].LM.ScoreSession(encoded)
+		if err != nil {
+			return 0, err
+		}
+		combined += weights[i] * sc.AvgLikelihood
+	}
+	return combined, nil
+}
+
+// RankSuspicious scores the sessions and returns them ordered from most
+// to least suspicious by average likelihood (the paper's §IV-D "most
+// suspicious sessions" review). Sessions too short to score are skipped.
+func (d *Detector) RankSuspicious(sessions []*actionlog.Session) ([]SessionReport, error) {
+	reports := make([]SessionReport, 0, len(sessions))
+	for _, s := range sessions {
+		r, err := d.ScoreSession(s)
+		if err != nil {
+			if s.Len() < d.cfg.MinSessionLength {
+				continue
+			}
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	// Ascending likelihood: the most suspicious first.
+	sort.Slice(reports, func(i, j int) bool {
+		return reports[i].Score.AvgLikelihood < reports[j].Score.AvgLikelihood
+	})
+	return reports, nil
+}

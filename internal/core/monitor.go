@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"misusedetect/internal/nn"
+	"misusedetect/internal/ocsvm"
+	"misusedetect/internal/tensor"
+)
+
+// MonitorConfig tunes the online alarm logic. The paper's use case: "as
+// soon as predictions start [to] vary a lot or drop down considerably that
+// is the alarm to the security operator"; the trend detector is the
+// paper's second future-work extension made concrete.
+type MonitorConfig struct {
+	// LikelihoodFloor raises an alarm when the smoothed per-action
+	// likelihood falls below it.
+	LikelihoodFloor float64
+	// EWMAAlpha is the smoothing factor of the likelihood average.
+	EWMAAlpha float64
+	// TrendWindow is the number of recent actions inspected for a
+	// sustained downward trend; 0 disables trend alarms.
+	TrendWindow int
+	// TrendDrop is the relative drop across the trend window that
+	// triggers a trend alarm (e.g. 0.5 = halved).
+	TrendDrop float64
+	// WarmupActions suppresses alarms for the first actions of a
+	// session, where predictions are necessarily uncertain.
+	WarmupActions int
+}
+
+// DefaultMonitorConfig returns sensible online settings.
+func DefaultMonitorConfig() MonitorConfig {
+	return MonitorConfig{
+		LikelihoodFloor: 0.02,
+		EWMAAlpha:       0.3,
+		TrendWindow:     8,
+		TrendDrop:       0.6,
+		WarmupActions:   5,
+	}
+}
+
+func (c *MonitorConfig) validate() error {
+	if c.LikelihoodFloor < 0 || c.LikelihoodFloor > 1 {
+		return fmt.Errorf("core: LikelihoodFloor %v outside [0,1]", c.LikelihoodFloor)
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		return fmt.Errorf("core: EWMAAlpha %v outside (0,1]", c.EWMAAlpha)
+	}
+	if c.TrendDrop < 0 || c.TrendDrop >= 1 {
+		return fmt.Errorf("core: TrendDrop %v outside [0,1)", c.TrendDrop)
+	}
+	return nil
+}
+
+// AlarmKind labels why the monitor raised an alarm.
+type AlarmKind int
+
+// Alarm kinds.
+const (
+	// AlarmLowLikelihood fires when the smoothed likelihood crosses the
+	// floor.
+	AlarmLowLikelihood AlarmKind = iota + 1
+	// AlarmDownwardTrend fires on a sustained likelihood decline.
+	AlarmDownwardTrend
+)
+
+// String names the alarm kind.
+func (k AlarmKind) String() string {
+	switch k {
+	case AlarmLowLikelihood:
+		return "low-likelihood"
+	case AlarmDownwardTrend:
+		return "downward-trend"
+	default:
+		return fmt.Sprintf("alarm(%d)", int(k))
+	}
+}
+
+// MonitorStep is the monitor's output after one observed action.
+type MonitorStep struct {
+	// Position is the 0-based action index within the session.
+	Position int
+	// Action is the observed action index.
+	Action int
+	// Cluster is the currently selected behavior cluster.
+	Cluster int
+	// Likelihood is the probability the selected cluster's model
+	// assigned to this action (-1 for the first action, which has no
+	// prediction).
+	Likelihood float64
+	// Smoothed is the EWMA of the likelihood.
+	Smoothed float64
+	// Alarms raised at this step, if any.
+	Alarms []AlarmKind
+}
+
+// SessionMonitor scores one session in real time, action by action. It
+// keeps a language-model stream per cluster so the routed cluster can
+// change mid-vote without re-reading the session, and freezes the route
+// after RouteVoteActions actions per the paper's online rule.
+type SessionMonitor struct {
+	d        *Detector
+	mcfg     MonitorConfig
+	features *ocsvm.PrefixStream
+	streams  []*nn.StreamState
+	votes    []int
+	cluster  int
+	position int
+	smoothed float64
+	recent   []float64
+	// probs[c] is cluster c's prediction for the upcoming action.
+	probs []tensor.Vector
+}
+
+// NewSessionMonitor starts monitoring one session.
+func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error) {
+	if err := mcfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &SessionMonitor{
+		d:        d,
+		mcfg:     mcfg,
+		features: d.featurizer.Stream(),
+		votes:    make([]int, len(d.clusters)),
+		probs:    make([]tensor.Vector, len(d.clusters)),
+		smoothed: -1,
+	}
+	for i := range d.clusters {
+		m.streams = append(m.streams, d.clusters[i].LM.Stream())
+	}
+	return m, nil
+}
+
+// ObserveAction consumes the next action name and returns the monitoring
+// step, including any alarms.
+func (m *SessionMonitor) ObserveAction(action string) (MonitorStep, error) {
+	idx, err := m.d.vocab.Index(action)
+	if err != nil {
+		return MonitorStep{}, fmt.Errorf("core: monitor: %w", err)
+	}
+	return m.Observe(idx)
+}
+
+// Observe consumes the next encoded action.
+func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
+	// Update the routing vote during the first RouteVoteActions actions.
+	if m.position < m.d.cfg.RouteVoteActions {
+		x, err := m.features.Observe(action)
+		if err != nil {
+			return MonitorStep{}, err
+		}
+		best, bestS := 0, math.Inf(-1)
+		for i := range m.d.clusters {
+			s, err := m.d.clusters[i].Router.Score(x)
+			if err != nil {
+				return MonitorStep{}, err
+			}
+			if s > bestS {
+				best, bestS = i, s
+			}
+		}
+		m.votes[best]++
+		bestC, bestV := 0, -1
+		for i, v := range m.votes {
+			if v > bestV {
+				bestC, bestV = i, v
+			}
+		}
+		m.cluster = bestC
+	}
+
+	// Advance every cluster's language-model stream; read the selected
+	// cluster's likelihood for the observed action.
+	likelihood := -1.0
+	for i, st := range m.streams {
+		if m.probs[i] != nil && i == m.cluster {
+			likelihood = m.probs[i][action]
+		}
+		_, next, err := st.Observe(action)
+		if err != nil {
+			return MonitorStep{}, err
+		}
+		m.probs[i] = next
+	}
+
+	step := MonitorStep{
+		Position:   m.position,
+		Action:     action,
+		Cluster:    m.cluster,
+		Likelihood: likelihood,
+	}
+	if likelihood >= 0 {
+		if m.smoothed < 0 {
+			m.smoothed = likelihood
+		} else {
+			m.smoothed = m.mcfg.EWMAAlpha*likelihood + (1-m.mcfg.EWMAAlpha)*m.smoothed
+		}
+		m.recent = append(m.recent, m.smoothed)
+		if m.mcfg.TrendWindow > 0 && len(m.recent) > m.mcfg.TrendWindow {
+			m.recent = m.recent[len(m.recent)-m.mcfg.TrendWindow:]
+		}
+	}
+	step.Smoothed = m.smoothed
+
+	if m.position >= m.mcfg.WarmupActions && likelihood >= 0 {
+		if m.smoothed < m.mcfg.LikelihoodFloor {
+			step.Alarms = append(step.Alarms, AlarmLowLikelihood)
+		}
+		if m.mcfg.TrendWindow > 0 && len(m.recent) == m.mcfg.TrendWindow {
+			first, last := m.recent[0], m.recent[len(m.recent)-1]
+			if first > 0 && last < first*(1-m.mcfg.TrendDrop) {
+				step.Alarms = append(step.Alarms, AlarmDownwardTrend)
+			}
+		}
+	}
+	m.position++
+	return step, nil
+}
+
+// Cluster returns the currently selected behavior cluster.
+func (m *SessionMonitor) Cluster() int { return m.cluster }
+
+// Position returns the number of observed actions.
+func (m *SessionMonitor) Position() int { return m.position }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/lm"
+	"misusedetect/internal/ocsvm"
+)
+
+// storeManifest is the on-disk description of a saved detector.
+type storeManifest struct {
+	Actions          []string          `json:"actions"`
+	ClusterSizes     []int             `json:"cluster_sizes"`
+	FeatureMode      ocsvm.FeatureMode `json:"feature_mode"`
+	MinSessionLength int               `json:"min_session_length"`
+	RouteVoteActions int               `json:"route_vote_actions"`
+}
+
+// Save writes the detector to a directory: a JSON manifest plus one gob
+// file per cluster model pair. The directory is created if needed.
+func (d *Detector) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create model dir: %w", err)
+	}
+	man := storeManifest{
+		Actions:          d.vocab.Actions(),
+		FeatureMode:      d.cfg.FeatureMode,
+		MinSessionLength: d.cfg.MinSessionLength,
+		RouteVoteActions: d.cfg.RouteVoteActions,
+	}
+	for i := range d.clusters {
+		man.ClusterSizes = append(man.ClusterSizes, d.clusters[i].TrainSize)
+	}
+	data, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	for i := range d.clusters {
+		if err := saveCluster(dir, i, &d.clusters[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveCluster(dir string, i int, c *ClusterModel) error {
+	rf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster-%02d-router.gob", i)))
+	if err != nil {
+		return fmt.Errorf("core: create router file: %w", err)
+	}
+	defer rf.Close()
+	if err := c.Router.Save(rf); err != nil {
+		return fmt.Errorf("core: save router %d: %w", i, err)
+	}
+	lf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster-%02d-lm.gob", i)))
+	if err != nil {
+		return fmt.Errorf("core: create lm file: %w", err)
+	}
+	defer lf.Close()
+	if err := c.LM.Save(lf); err != nil {
+		return fmt.Errorf("core: save lm %d: %w", i, err)
+	}
+	return nil
+}
+
+// LoadDetector reads a detector saved by Save. The loaded detector scores
+// and monitors; it cannot be trained further.
+func LoadDetector(dir string) (*Detector, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: read manifest: %w", err)
+	}
+	var man storeManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("core: parse manifest: %w", err)
+	}
+	vocab, err := actionlog.NewVocabulary(man.Actions)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild vocabulary: %w", err)
+	}
+	feat, err := ocsvm.NewFeaturizer(vocab.Size(), man.FeatureMode)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild featurizer: %w", err)
+	}
+	cfg := PaperConfig(vocab.Size(), 0)
+	cfg.FeatureMode = man.FeatureMode
+	if man.MinSessionLength >= 2 {
+		cfg.MinSessionLength = man.MinSessionLength
+	}
+	if man.RouteVoteActions >= 1 {
+		cfg.RouteVoteActions = man.RouteVoteActions
+	}
+	d := &Detector{cfg: cfg, vocab: vocab, featurizer: feat}
+	for i := range man.ClusterSizes {
+		rf, err := os.Open(filepath.Join(dir, fmt.Sprintf("cluster-%02d-router.gob", i)))
+		if err != nil {
+			return nil, fmt.Errorf("core: open router %d: %w", i, err)
+		}
+		router, err := ocsvm.Load(rf)
+		rf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: load router %d: %w", i, err)
+		}
+		lf, err := os.Open(filepath.Join(dir, fmt.Sprintf("cluster-%02d-lm.gob", i)))
+		if err != nil {
+			return nil, fmt.Errorf("core: open lm %d: %w", i, err)
+		}
+		model, err := lm.Load(lf)
+		lf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: load lm %d: %w", i, err)
+		}
+		d.clusters = append(d.clusters, ClusterModel{
+			Router:    router,
+			LM:        model,
+			TrainSize: man.ClusterSizes[i],
+		})
+	}
+	if len(d.clusters) == 0 {
+		return nil, fmt.Errorf("core: saved detector has no clusters")
+	}
+	return d, nil
+}

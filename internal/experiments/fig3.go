@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/tensor"
+)
+
+// Fig3 reproduces Figure 3: the session-length distribution. The paper
+// reports average length 15, 98% of sessions under 91 actions, and a
+// maximum above 800.
+func Fig3(s *Setup) (*Result, error) {
+	res := &Result{
+		Name:    "fig3",
+		Title:   "Lengths distribution of the sessions",
+		Headers: []string{"bucket", "count", "bar"},
+	}
+	stats, err := actionlog.ComputeLengthStats(s.Corpus.Sessions, 98)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3: %w", err)
+	}
+	lens := actionlog.Lengths(s.Corpus.Sessions)
+	counts, edges, err := tensor.Histogram(lens, 20)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3 histogram: %w", err)
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		bar := ""
+		if maxCount > 0 {
+			n := c * 40 / maxCount
+			for j := 0; j < n; j++ {
+				bar += "#"
+			}
+		}
+		res.AddRow(fmt.Sprintf("[%.0f,%.0f)", edges[i], edges[i+1]), d(c), bar)
+	}
+	res.AddNote("sessions=%d mean=%.1f p98=%.0f max=%.0f (paper: ~15000, 15, <91, >800)",
+		stats.Count, stats.Mean, stats.PctValue, stats.Max)
+	med, err := tensor.Percentile(lens, 50)
+	if err != nil {
+		return nil, err
+	}
+	res.AddNote("median=%.0f; right-skewed distribution as in the paper", med)
+	return res, nil
+}

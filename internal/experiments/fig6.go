@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fig6 reproduces Figure 6: the development of OC-SVM decision scores per
+// action over the united test set, comparing the score of the "right"
+// OC-SVM (the session's true cluster) with the maximal score over all
+// OC-SVMs. The paper observes that sessions longer than the average are
+// eventually considered outliers by every OC-SVM, the motivation for the
+// first-15-actions routing vote.
+func Fig6(s *Setup) (*Result, error) {
+	res := &Result{
+		Name:  "fig6",
+		Title: "OC-SVM score development per action (right OC-SVM vs max OC-SVM)",
+		Headers: []string{
+			"position", "sessions", "right score", "max score",
+		},
+	}
+	sessions, labels := s.unitedTest()
+	maxPos := s.scaleP.maxPositions
+	sumRight := make([]float64, maxPos)
+	sumMax := make([]float64, maxPos)
+	alive := make([]int, maxPos)
+	clusters := s.Detector.Clusters()
+	for si, sess := range sessions {
+		encoded, err := s.Corpus.Vocabulary.Encode(sess)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 encode: %w", err)
+		}
+		stream := s.Detector.Featurizer().Stream()
+		limit := len(encoded)
+		if limit > maxPos {
+			limit = maxPos
+		}
+		for t := 0; t < limit; t++ {
+			x, err := stream.Observe(encoded[t])
+			if err != nil {
+				return nil, err
+			}
+			right, err := clusters[labels[si]].Router.Score(x)
+			if err != nil {
+				return nil, err
+			}
+			maxScore := math.Inf(-1)
+			for ci := range clusters {
+				sc, err := clusters[ci].Router.Score(x)
+				if err != nil {
+					return nil, err
+				}
+				if sc > maxScore {
+					maxScore = sc
+				}
+			}
+			sumRight[t] += right
+			sumMax[t] += maxScore
+			alive[t]++
+		}
+	}
+	crossedNegative := -1
+	step := plotStep(maxPos)
+	for t := 0; t < maxPos; t += step {
+		if alive[t] == 0 {
+			continue
+		}
+		right := sumRight[t] / float64(alive[t])
+		maxS := sumMax[t] / float64(alive[t])
+		if crossedNegative < 0 && maxS < 0 {
+			crossedNegative = t
+		}
+		res.AddRow(d(t+1), d(alive[t]), f(right), f(maxS))
+	}
+	if crossedNegative >= 0 {
+		res.AddNote("average max OC-SVM score turns negative (outlier) near position %d (paper: sessions longer than the average length become outliers to all OC-SVMs)", crossedNegative+1)
+	} else {
+		res.AddNote("average max OC-SVM score never turned negative within %d positions", maxPos)
+	}
+	res.AddNote("max score >= right score at every position by construction")
+	return res, nil
+}
+
+// plotStep thins long position tables: every position up to 20, then
+// every 5th/10th.
+func plotStep(maxPos int) int {
+	switch {
+	case maxPos <= 60:
+		return 2
+	default:
+		return 10
+	}
+}

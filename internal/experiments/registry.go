@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one figure or ablation from a shared setup.
+type Runner func(*Setup) (*Result, error)
+
+// Registry maps experiment ids to runners, covering every figure of the
+// paper's evaluation plus the future-work ablations.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig3":                    Fig3,
+		"fig4":                    Fig4,
+		"fig5":                    Fig5,
+		"fig6":                    Fig6,
+		"fig7":                    Fig7,
+		"fig8-9":                  Fig89,
+		"fig10":                   Fig10,
+		"fig11-12":                Fig1112,
+		"top20":                   Top20,
+		"ablation-weighted":       AblationWeighted,
+		"ablation-trend":          AblationTrend,
+		"ablation-perplexity":     AblationPerplexity,
+		"extension-auc":           ExtensionAUC,
+		"extension-training-mode": ExtensionTrainingMode,
+	}
+}
+
+// Names returns the experiment ids in stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id.
+func Run(name string, s *Setup) (*Result, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(s)
+}
+
+// RunAll executes every registered experiment in stable order.
+func RunAll(s *Setup) ([]*Result, error) {
+	var out []*Result
+	for _, name := range Names() {
+		res, err := Run(name, s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

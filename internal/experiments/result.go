@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Result is the output of one experiment: a titled table plus free-form
+// notes comparing against the paper's reported shape.
+type Result struct {
+	// Name is the experiment id (fig3, fig4, ...).
+	Name string `json:"name"`
+	// Title describes what the paper figure shows.
+	Title string `json:"title"`
+	// Headers label the columns.
+	Headers []string `json:"headers"`
+	// Rows hold the table body.
+	Rows [][]string `json:"rows"`
+	// Notes record shape-level observations (who wins, crossovers).
+	Notes []string `json:"notes"`
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the result as an aligned text table.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.Name, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(r.Headers); err != nil {
+		return err
+	}
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f formats a float at 4 decimals for table cells.
+func f(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// d formats an int for table cells.
+func d(x int) string { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"misusedetect/internal/logsim"
+)
+
+// alarmingActions are the action types the paper's system experts called
+// most alarming (§IV-D): "active modifications of existing user profiles"
+// — unlocking, password resets, deletions, account creation — plus
+// access-credential revocation.
+var alarmingActions = map[string]struct{}{
+	"ActionUnLockUser":          {},
+	"ActionUnLockDisplayedUser": {},
+	"ActionResetPwdUnlock":      {},
+	"ActionResetPwd":            {},
+	"ActionDeleteUser":          {},
+	"ActionWarningDeleteUser":   {},
+	"ActionCreateUser":          {},
+	"ActionRevokeToken":         {},
+	"ActionRevokeCertificate":   {},
+}
+
+// Top20 reproduces the expert review of §IV-D: rank all sessions by
+// average likelihood and inspect the 20 most suspicious. The paper's
+// validation is qualitative — the top sessions should be exactly the
+// ones full of alarming profile-modification actions. We additionally
+// inject scripted misuse sessions and report where they rank.
+func Top20(s *Setup) (*Result, error) {
+	res := &Result{
+		Name:  "top20",
+		Title: "Top-20 most suspicious sessions (expert review)",
+		Headers: []string{
+			"rank", "session", "avg likelihood", "alarming", "first actions",
+		},
+	}
+	sessions, _ := s.unitedTest()
+	mixed, injectedIDs, err := logsim.InjectMisuse(sessions, 10, s.Seed+555)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: top20 inject: %w", err)
+	}
+	reports, err := s.Detector.RankSuspicious(mixed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: top20 rank: %w", err)
+	}
+	injected := make(map[string]struct{}, len(injectedIDs))
+	for _, id := range injectedIDs {
+		injected[id] = struct{}{}
+	}
+	byID := make(map[string][]string, len(mixed))
+	for _, sess := range mixed {
+		byID[sess.ID] = sess.Actions
+	}
+	n := 20
+	if n > len(reports) {
+		n = len(reports)
+	}
+	injectedHits := 0
+	alarmingHits := 0
+	for i := 0; i < n; i++ {
+		r := reports[i]
+		if _, ok := injected[r.SessionID]; ok {
+			injectedHits++
+		}
+		actions := byID[r.SessionID]
+		alarming := containsAlarming(actions)
+		if alarming {
+			alarmingHits++
+		}
+		mark := ""
+		if alarming {
+			mark = "yes"
+		}
+		prefix := actions
+		if len(prefix) > 4 {
+			prefix = prefix[:4]
+		}
+		res.AddRow(d(i+1), r.SessionID, f(r.Score.AvgLikelihood), mark, strings.Join(prefix, ","))
+	}
+	res.AddNote("top-%d sessions containing the experts' alarming profile-modification actions: %d/%d (paper: such sessions are exactly the ones that should alarm the operators)",
+		n, alarmingHits, n)
+
+	// Where do the injected scripted misuse sessions rank?
+	var ranks []int
+	for rank, r := range reports {
+		if _, ok := injected[r.SessionID]; ok {
+			ranks = append(ranks, rank+1)
+		}
+	}
+	sort.Ints(ranks)
+	if len(ranks) > 0 {
+		median := ranks[len(ranks)/2]
+		res.AddNote("injected misuse sessions: %d/%d in top %d; median rank %d of %d (top %.0f%%)",
+			injectedHits, len(injectedIDs), n, median, len(reports),
+			100*float64(median)/float64(len(reports)))
+	}
+	return res, nil
+}
+
+func containsAlarming(actions []string) bool {
+	for _, a := range actions {
+		if _, ok := alarmingActions[a]; ok {
+			return true
+		}
+	}
+	return false
+}

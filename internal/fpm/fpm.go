@@ -1,0 +1,163 @@
+// Package fpm implements frequent sequential pattern mining with the
+// PrefixSpan algorithm. The paper uses frequent pattern mining to verify
+// that the expert-identified clusters carry semantic meaning ("one of them
+// includes all the sessions with actions to unlock user's access, another
+// includes all modifications of roles of users, ..."); this package powers
+// that verification and the cluster-labeling shown by the examples.
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern is a frequent subsequence of actions together with the number of
+// sequences that contain it.
+type Pattern struct {
+	// Items is the pattern, as action indices.
+	Items []int
+	// Support is the number of sequences containing the pattern as a
+	// (not necessarily contiguous) subsequence.
+	Support int
+}
+
+// Config controls the mining.
+type Config struct {
+	// MinSupport is the minimum number of supporting sequences.
+	MinSupport int
+	// MaxLength bounds the pattern length (0 = unbounded).
+	MaxLength int
+	// MaxPatterns stops mining after this many patterns (0 = unbounded);
+	// a safety valve for dense corpora.
+	MaxPatterns int
+}
+
+// Mine runs PrefixSpan over the sequences and returns the frequent
+// patterns sorted by descending support, then ascending length, then
+// lexicographically. Patterns of length 1 are included.
+func Mine(sequences [][]int, cfg Config) ([]Pattern, error) {
+	if cfg.MinSupport < 1 {
+		return nil, fmt.Errorf("fpm: MinSupport must be >= 1, got %d", cfg.MinSupport)
+	}
+	m := &miner{cfg: cfg, sequences: sequences}
+	// Initial projected database: every sequence from position 0.
+	proj := make([]projection, len(sequences))
+	for i := range sequences {
+		proj[i] = projection{seq: i, pos: 0}
+	}
+	m.grow(nil, proj)
+	sort.Slice(m.out, func(i, j int) bool {
+		a, b := m.out[i], m.out[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for k := range a.Items {
+			if a.Items[k] != b.Items[k] {
+				return a.Items[k] < b.Items[k]
+			}
+		}
+		return false
+	})
+	return m.out, nil
+}
+
+// projection marks the suffix of one sequence still to be scanned.
+type projection struct {
+	seq, pos int
+}
+
+type miner struct {
+	cfg       Config
+	sequences [][]int
+	out       []Pattern
+	stopped   bool
+}
+
+// grow extends the current prefix with every frequent item of the
+// projected database, emitting and recursing.
+func (m *miner) grow(prefix []int, proj []projection) {
+	if m.stopped {
+		return
+	}
+	if m.cfg.MaxLength > 0 && len(prefix) >= m.cfg.MaxLength {
+		return
+	}
+	// Count, per item, the number of projected sequences containing it.
+	counts := make(map[int]int)
+	for _, p := range proj {
+		seen := make(map[int]struct{})
+		for _, item := range m.sequences[p.seq][p.pos:] {
+			if _, dup := seen[item]; !dup {
+				seen[item] = struct{}{}
+				counts[item]++
+			}
+		}
+	}
+	items := make([]int, 0, len(counts))
+	for item, c := range counts {
+		if c >= m.cfg.MinSupport {
+			items = append(items, item)
+		}
+	}
+	sort.Ints(items)
+	for _, item := range items {
+		if m.stopped {
+			return
+		}
+		newPrefix := append(append([]int(nil), prefix...), item)
+		var next []projection
+		for _, p := range proj {
+			seq := m.sequences[p.seq]
+			for i := p.pos; i < len(seq); i++ {
+				if seq[i] == item {
+					next = append(next, projection{seq: p.seq, pos: i + 1})
+					break
+				}
+			}
+		}
+		m.out = append(m.out, Pattern{Items: newPrefix, Support: counts[item]})
+		if m.cfg.MaxPatterns > 0 && len(m.out) >= m.cfg.MaxPatterns {
+			m.stopped = true
+			return
+		}
+		m.grow(newPrefix, next)
+	}
+}
+
+// Top returns up to n mined patterns with length >= minLen, useful for
+// summarizing a cluster by its most characteristic workflows.
+func Top(patterns []Pattern, n, minLen int) []Pattern {
+	out := make([]Pattern, 0, n)
+	for _, p := range patterns {
+		if len(p.Items) >= minLen {
+			out = append(out, p)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Describe renders patterns through a name table, for human-readable
+// cluster summaries.
+func Describe(patterns []Pattern, names []string) ([]string, error) {
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		s := ""
+		for j, it := range p.Items {
+			if it < 0 || it >= len(names) {
+				return nil, fmt.Errorf("fpm: item %d outside name table of %d", it, len(names))
+			}
+			if j > 0 {
+				s += " -> "
+			}
+			s += names[it]
+		}
+		out[i] = fmt.Sprintf("%s (support %d)", s, p.Support)
+	}
+	return out, nil
+}

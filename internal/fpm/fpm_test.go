@@ -1,0 +1,187 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(nil, Config{MinSupport: 0}); err == nil {
+		t.Fatal("zero MinSupport must fail")
+	}
+}
+
+func TestMineSimpleCorpus(t *testing.T) {
+	// Three sequences; pattern [1 2] appears in all, [3] in one.
+	seqs := [][]int{
+		{1, 2, 3},
+		{1, 4, 2},
+		{5, 1, 2},
+	}
+	patterns, err := Mine(seqs, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	support := func(items ...int) int {
+		for _, p := range patterns {
+			if reflect.DeepEqual(p.Items, items) {
+				return p.Support
+			}
+		}
+		return -1
+	}
+	if s := support(1); s != 3 {
+		t.Fatalf("support(1) = %d, want 3", s)
+	}
+	if s := support(1, 2); s != 3 {
+		t.Fatalf("support(1,2) = %d, want 3 (subsequence, not substring)", s)
+	}
+	if s := support(3); s != -1 {
+		t.Fatalf("infrequent item 3 reported with support %d", s)
+	}
+	if s := support(2, 1); s != -1 {
+		t.Fatalf("pattern (2,1) should be infrequent, got %d", s)
+	}
+}
+
+func TestMineSubsequenceNotSubstring(t *testing.T) {
+	seqs := [][]int{
+		{1, 9, 9, 2},
+		{1, 8, 2},
+	}
+	patterns, err := Mine(seqs, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range patterns {
+		if reflect.DeepEqual(p.Items, []int{1, 2}) && p.Support == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gapped pattern [1 2] not found")
+	}
+}
+
+func TestMineRepeatedItemsCountOncePerSequence(t *testing.T) {
+	seqs := [][]int{{7, 7, 7}}
+	patterns, err := Mine(seqs, Config{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range patterns {
+		if len(p.Items) == 1 && p.Items[0] == 7 && p.Support != 1 {
+			t.Fatalf("support of [7] = %d, want 1 (per-sequence counting)", p.Support)
+		}
+	}
+	// [7 7 7] should be mined with support 1.
+	found := false
+	for _, p := range patterns {
+		if reflect.DeepEqual(p.Items, []int{7, 7, 7}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("repeated pattern [7 7 7] not mined")
+	}
+}
+
+func TestMineMaxLengthAndMaxPatterns(t *testing.T) {
+	seqs := [][]int{{1, 2, 3, 4}, {1, 2, 3, 4}}
+	patterns, err := Mine(seqs, Config{MinSupport: 2, MaxLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range patterns {
+		if len(p.Items) > 2 {
+			t.Fatalf("pattern %v exceeds MaxLength", p.Items)
+		}
+	}
+	limited, err := Mine(seqs, Config{MinSupport: 2, MaxPatterns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 {
+		t.Fatalf("MaxPatterns=3 returned %d patterns", len(limited))
+	}
+}
+
+func TestMineSortedBySupport(t *testing.T) {
+	seqs := [][]int{
+		{1, 2}, {1, 2}, {1, 3},
+	}
+	patterns, err := Mine(seqs, Config{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(patterns); i++ {
+		if patterns[i-1].Support < patterns[i].Support {
+			t.Fatal("patterns not sorted by descending support")
+		}
+	}
+}
+
+// Property: any mined pattern's support equals a brute-force subsequence count.
+func TestMineSupportMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seqs := make([][]int, 12)
+	for i := range seqs {
+		n := 2 + rng.Intn(6)
+		seqs[i] = make([]int, n)
+		for j := range seqs[i] {
+			seqs[i][j] = rng.Intn(4)
+		}
+	}
+	patterns, err := Mine(seqs, Config{MinSupport: 2, MaxLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) == 0 {
+		t.Fatal("expected some patterns")
+	}
+	for _, p := range patterns {
+		count := 0
+		for _, s := range seqs {
+			if isSubsequence(p.Items, s) {
+				count++
+			}
+		}
+		if count != p.Support {
+			t.Fatalf("pattern %v support %d, brute force %d", p.Items, p.Support, count)
+		}
+	}
+}
+
+func isSubsequence(pat, seq []int) bool {
+	i := 0
+	for _, x := range seq {
+		if i < len(pat) && x == pat[i] {
+			i++
+		}
+	}
+	return i == len(pat)
+}
+
+func TestTopAndDescribe(t *testing.T) {
+	patterns := []Pattern{
+		{Items: []int{0}, Support: 5},
+		{Items: []int{0, 1}, Support: 4},
+		{Items: []int{1, 0, 1}, Support: 3},
+	}
+	top := Top(patterns, 2, 2)
+	if len(top) != 2 || len(top[0].Items) != 2 {
+		t.Fatalf("Top = %+v", top)
+	}
+	desc, err := Describe(top, []string{"Search", "Delete"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc[0] != "Search -> Delete (support 4)" {
+		t.Fatalf("Describe = %q", desc[0])
+	}
+	if _, err := Describe([]Pattern{{Items: []int{9}}}, []string{"a"}); err == nil {
+		t.Fatal("out-of-range item must fail")
+	}
+}

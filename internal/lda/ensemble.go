@@ -1,0 +1,140 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"misusedetect/internal/tensor"
+)
+
+// EnsembleConfig describes the multiple LDA runs of the paper: "We run LDA
+// with different parameters, e.g. number of topics, multiple times and get
+// the ensemble of LDA."
+type EnsembleConfig struct {
+	// TopicCounts lists the K of each run, e.g. {10, 15, 20}.
+	TopicCounts []int
+	// RunsPerCount repeats each K with different seeds.
+	RunsPerCount int
+	// Iterations per Gibbs run.
+	Iterations int
+	// Seed derives the per-run seeds.
+	Seed int64
+}
+
+// DefaultEnsembleConfig mirrors a typical interactive setup: three topic
+// counts around the expected cluster count, two runs each.
+func DefaultEnsembleConfig(seed int64) EnsembleConfig {
+	return EnsembleConfig{
+		TopicCounts:  []int{10, 15, 20},
+		RunsPerCount: 2,
+		Iterations:   150,
+		Seed:         seed,
+	}
+}
+
+// EnsembleTopic is one topic from one run of the ensemble, the unit the
+// visual interface projects and the expert groups.
+type EnsembleTopic struct {
+	// Run is the index of the source run within the ensemble.
+	Run int
+	// Index is the topic index within the source run.
+	Index int
+	// WordDist is the topic's distribution over the vocabulary.
+	WordDist tensor.Vector
+	// Weight is the topic's total mass over the corpus: the sum over
+	// documents of the topic's mixture share. It approximates how many
+	// sessions the topic explains.
+	Weight float64
+}
+
+// Ensemble is the pooled result of all runs.
+type Ensemble struct {
+	// Models are the individual fitted runs.
+	Models []*Model
+	// Topics pools every topic of every run.
+	Topics []EnsembleTopic
+	// VocabSize is the shared vocabulary size.
+	VocabSize int
+}
+
+// FitEnsemble runs LDA len(TopicCounts) x RunsPerCount times over the
+// corpus and pools the topics.
+func FitEnsemble(docs [][]int, vocabSize int, cfg EnsembleConfig) (*Ensemble, error) {
+	if len(cfg.TopicCounts) == 0 {
+		return nil, fmt.Errorf("lda: ensemble needs at least one topic count")
+	}
+	if cfg.RunsPerCount < 1 {
+		return nil, fmt.Errorf("lda: RunsPerCount must be >= 1, got %d", cfg.RunsPerCount)
+	}
+	ens := &Ensemble{VocabSize: vocabSize}
+	run := 0
+	for _, k := range cfg.TopicCounts {
+		for r := 0; r < cfg.RunsPerCount; r++ {
+			c := DefaultConfig(k, cfg.Seed+int64(run)*7919)
+			if cfg.Iterations > 0 {
+				c.Iterations = cfg.Iterations
+			}
+			m, err := Fit(docs, vocabSize, c)
+			if err != nil {
+				return nil, fmt.Errorf("lda: ensemble run %d (K=%d): %w", run, k, err)
+			}
+			ens.Models = append(ens.Models, m)
+			for t := 0; t < k; t++ {
+				var weight float64
+				for di := 0; di < m.DocTopic.Rows; di++ {
+					weight += m.DocTopic.At(di, t)
+				}
+				ens.Topics = append(ens.Topics, EnsembleTopic{
+					Run:      run,
+					Index:    t,
+					WordDist: m.TopicWord.Row(t).Clone(),
+					Weight:   weight,
+				})
+			}
+			run++
+		}
+	}
+	return ens, nil
+}
+
+// JensenShannon returns the Jensen-Shannon divergence between two
+// distributions (base-e, in [0, ln 2]). It is the topic-similarity metric
+// used for the t-SNE projection and the chord diagram.
+func JensenShannon(p, q tensor.Vector) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("lda: JS divergence length mismatch %d vs %d", len(p), len(q))
+	}
+	var js float64
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 && m > 0 {
+			js += p[i] * math.Log(p[i]/m) / 2
+		}
+		if q[i] > 0 && m > 0 {
+			js += q[i] * math.Log(q[i]/m) / 2
+		}
+	}
+	if js < 0 { // numerical noise
+		js = 0
+	}
+	return js, nil
+}
+
+// DistanceMatrix returns the symmetric topic-topic Jensen-Shannon distance
+// matrix of the pooled ensemble topics (sqrt of the divergence, a metric).
+func (e *Ensemble) DistanceMatrix() (*tensor.Matrix, error) {
+	n := len(e.Topics)
+	d := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			js, err := JensenShannon(e.Topics[i].WordDist, e.Topics[j].WordDist)
+			if err != nil {
+				return nil, err
+			}
+			dist := math.Sqrt(js)
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	return d, nil
+}

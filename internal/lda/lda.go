@@ -1,0 +1,306 @@
+// Package lda implements Latent Dirichlet Allocation by collapsed Gibbs
+// sampling, plus the LDA-ensemble machinery of the paper's informed
+// clustering step: each session is treated as a document whose words are
+// actions, LDA is run multiple times with different topic counts, and the
+// resulting topic-action and document-topic matrices feed the visual
+// interface (package viz) and the simulated expert (package expert).
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"misusedetect/internal/tensor"
+)
+
+// Config holds the hyperparameters of one LDA run.
+type Config struct {
+	// Topics is the number of latent topics K.
+	Topics int
+	// Alpha is the symmetric Dirichlet prior on document-topic mixtures.
+	Alpha float64
+	// Beta is the symmetric Dirichlet prior on topic-word distributions.
+	Beta float64
+	// Iterations is the number of Gibbs sweeps over the corpus.
+	Iterations int
+	// Seed makes the sampler deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a standard configuration for the given topic
+// count: alpha = min(50/K, 0.5), beta = 0.01, 200 sweeps. The 50/K
+// heuristic is capped at 0.5 because session-documents are short (~15
+// actions): a large symmetric prior would swamp the counts and flatten
+// every document mixture toward uniform.
+func DefaultConfig(topics int, seed int64) Config {
+	alpha := 50 / float64(topics)
+	if alpha > 0.5 {
+		alpha = 0.5
+	}
+	return Config{
+		Topics:     topics,
+		Alpha:      alpha,
+		Beta:       0.01,
+		Iterations: 200,
+		Seed:       seed,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Topics < 1 {
+		return fmt.Errorf("lda: Topics must be >= 1, got %d", c.Topics)
+	}
+	if c.Alpha <= 0 || c.Beta <= 0 {
+		return fmt.Errorf("lda: priors must be positive, got alpha=%v beta=%v", c.Alpha, c.Beta)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("lda: Iterations must be >= 1, got %d", c.Iterations)
+	}
+	return nil
+}
+
+// Model is a fitted LDA model.
+type Model struct {
+	// Config echoes the hyperparameters the model was fitted with.
+	Config Config
+	// VocabSize is the number of distinct words (actions) d.
+	VocabSize int
+	// TopicWord is the K x d topic-action matrix: row k is the word
+	// distribution of topic k (rows sum to 1).
+	TopicWord *tensor.Matrix
+	// DocTopic is the m x K document-topic matrix: row i is the topic
+	// mixture of document i (rows sum to 1).
+	DocTopic *tensor.Matrix
+}
+
+// Fit runs collapsed Gibbs sampling on the corpus. Each document is a
+// slice of word indices in [0, vocabSize). Empty documents are allowed and
+// receive the uniform prior mixture.
+func Fit(docs [][]int, vocabSize int, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if vocabSize < 1 {
+		return nil, fmt.Errorf("lda: vocabSize must be >= 1, got %d", vocabSize)
+	}
+	for di, doc := range docs {
+		for wi, w := range doc {
+			if w < 0 || w >= vocabSize {
+				return nil, fmt.Errorf("lda: doc %d word %d index %d outside [0,%d)", di, wi, w, vocabSize)
+			}
+		}
+	}
+
+	k := cfg.Topics
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Count tables of the collapsed sampler.
+	docTopicCount := tensor.NewMatrix(len(docs), k)  // n_{d,k}
+	topicWordCount := tensor.NewMatrix(k, vocabSize) // n_{k,w}
+	topicCount := tensor.NewVector(k)                // n_k
+	assignments := make([][]int, len(docs))
+
+	// Random initialization.
+	for di, doc := range docs {
+		assignments[di] = make([]int, len(doc))
+		for wi, w := range doc {
+			z := rng.Intn(k)
+			assignments[di][wi] = z
+			docTopicCount.Data[di*k+z]++
+			topicWordCount.Data[z*vocabSize+w]++
+			topicCount[z]++
+		}
+	}
+
+	probs := tensor.NewVector(k)
+	betaSum := cfg.Beta * float64(vocabSize)
+	for it := 0; it < cfg.Iterations; it++ {
+		for di, doc := range docs {
+			dtRow := docTopicCount.Data[di*k : (di+1)*k]
+			for wi, w := range doc {
+				z := assignments[di][wi]
+				// Remove the current assignment from the counts.
+				dtRow[z]--
+				topicWordCount.Data[z*vocabSize+w]--
+				topicCount[z]--
+
+				// Full conditional p(z | rest).
+				var total float64
+				for t := 0; t < k; t++ {
+					p := (dtRow[t] + cfg.Alpha) *
+						(topicWordCount.Data[t*vocabSize+w] + cfg.Beta) /
+						(topicCount[t] + betaSum)
+					probs[t] = p
+					total += p
+				}
+				// Sample the new topic.
+				x := rng.Float64() * total
+				nz := k - 1
+				for t := 0; t < k; t++ {
+					x -= probs[t]
+					if x < 0 {
+						nz = t
+						break
+					}
+				}
+				assignments[di][wi] = nz
+				dtRow[nz]++
+				topicWordCount.Data[nz*vocabSize+w]++
+				topicCount[nz]++
+			}
+		}
+	}
+
+	return finalize(docs, docTopicCount, topicWordCount, vocabSize, cfg), nil
+}
+
+// finalize converts count tables into the smoothed probability matrices.
+func finalize(docs [][]int, docTopicCount, topicWordCount *tensor.Matrix, vocabSize int, cfg Config) *Model {
+	k := cfg.Topics
+	m := &Model{
+		Config:    cfg,
+		VocabSize: vocabSize,
+		TopicWord: tensor.NewMatrix(k, vocabSize),
+		DocTopic:  tensor.NewMatrix(len(docs), k),
+	}
+	betaSum := cfg.Beta * float64(vocabSize)
+	for t := 0; t < k; t++ {
+		var nt float64
+		row := topicWordCount.Row(t)
+		for _, c := range row {
+			nt += c
+		}
+		out := m.TopicWord.Row(t)
+		for w, c := range row {
+			out[w] = (c + cfg.Beta) / (nt + betaSum)
+		}
+	}
+	alphaSum := cfg.Alpha * float64(k)
+	for di := range docs {
+		n := float64(len(docs[di]))
+		row := docTopicCount.Row(di)
+		out := m.DocTopic.Row(di)
+		for t, c := range row {
+			out[t] = (c + cfg.Alpha) / (n + alphaSum)
+		}
+	}
+	return m
+}
+
+// InferDocument estimates the topic mixture of an unseen document by a
+// short Gibbs run against the fitted topic-word distributions.
+func (m *Model) InferDocument(doc []int, iterations int, seed int64) (tensor.Vector, error) {
+	k := m.Config.Topics
+	mix := tensor.NewVector(k)
+	if len(doc) == 0 {
+		mix.Fill(1 / float64(k))
+		return mix, nil
+	}
+	for i, w := range doc {
+		if w < 0 || w >= m.VocabSize {
+			return nil, fmt.Errorf("lda: infer word %d index %d outside [0,%d)", i, w, m.VocabSize)
+		}
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := tensor.NewVector(k)
+	assign := make([]int, len(doc))
+	for i := range doc {
+		z := rng.Intn(k)
+		assign[i] = z
+		counts[z]++
+	}
+	probs := tensor.NewVector(k)
+	for it := 0; it < iterations; it++ {
+		for i, w := range doc {
+			z := assign[i]
+			counts[z]--
+			var total float64
+			for t := 0; t < k; t++ {
+				p := (counts[t] + m.Config.Alpha) * m.TopicWord.At(t, w)
+				probs[t] = p
+				total += p
+			}
+			x := rng.Float64() * total
+			nz := k - 1
+			for t := 0; t < k; t++ {
+				x -= probs[t]
+				if x < 0 {
+					nz = t
+					break
+				}
+			}
+			assign[i] = nz
+			counts[nz]++
+		}
+	}
+	alphaSum := m.Config.Alpha * float64(k)
+	for t := 0; t < k; t++ {
+		mix[t] = (counts[t] + m.Config.Alpha) / (float64(len(doc)) + alphaSum)
+	}
+	return mix, nil
+}
+
+// Perplexity computes exp(-log-likelihood per word) of the corpus under
+// the fitted model using the stored document mixtures; lower is better.
+func (m *Model) Perplexity(docs [][]int) (float64, error) {
+	if len(docs) != m.DocTopic.Rows {
+		return 0, fmt.Errorf("lda: perplexity needs the training corpus (%d docs, got %d)", m.DocTopic.Rows, len(docs))
+	}
+	var logLik float64
+	var words int
+	for di, doc := range docs {
+		theta := m.DocTopic.Row(di)
+		for _, w := range doc {
+			if w < 0 || w >= m.VocabSize {
+				return 0, fmt.Errorf("lda: perplexity word index %d out of range", w)
+			}
+			var p float64
+			for t := 0; t < m.Config.Topics; t++ {
+				p += theta[t] * m.TopicWord.At(t, w)
+			}
+			if p <= 0 {
+				return 0, fmt.Errorf("lda: zero word probability (doc %d)", di)
+			}
+			logLik += math.Log(p)
+			words++
+		}
+	}
+	if words == 0 {
+		return 0, fmt.Errorf("lda: empty corpus")
+	}
+	return math.Exp(-logLik / float64(words)), nil
+}
+
+// TopWords returns the n highest-probability word indices of topic t in
+// descending probability order.
+func (m *Model) TopWords(t, n int) ([]int, error) {
+	if t < 0 || t >= m.Config.Topics {
+		return nil, fmt.Errorf("lda: topic %d out of range [0,%d)", t, m.Config.Topics)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("lda: negative n %d", n)
+	}
+	if n > m.VocabSize {
+		n = m.VocabSize
+	}
+	row := m.TopicWord.Row(t)
+	idx := make([]int, m.VocabSize)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: n is small (10-ish) in practice.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if row[idx[j]] > row[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n], nil
+}

@@ -1,0 +1,139 @@
+package logsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"misusedetect/internal/actionlog"
+)
+
+// RandomSessions generates the artificial abnormal test set of the paper's
+// §IV-D: n sessions whose lengths are uniform on [minLen, maxLen] (the
+// paper uses [5, 25]) and whose actions are drawn uniformly from the
+// vocabulary. These sessions carry cluster -1: they belong to no behavior.
+func RandomSessions(vocab *actionlog.Vocabulary, n, minLen, maxLen int, seed int64) ([]*actionlog.Session, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("logsim: negative session count %d", n)
+	}
+	if minLen < 2 || maxLen < minLen {
+		return nil, fmt.Errorf("logsim: invalid length interval [%d,%d]", minLen, maxLen)
+	}
+	if vocab.Size() == 0 {
+		return nil, fmt.Errorf("logsim: empty vocabulary")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := vocab.Actions()
+	out := make([]*actionlog.Session, n)
+	for i := range out {
+		length := minLen + rng.Intn(maxLen-minLen+1)
+		actions := make([]string, length)
+		for j := range actions {
+			actions[j] = names[rng.Intn(len(names))]
+		}
+		out[i] = &actionlog.Session{
+			ID:      fmt.Sprintf("random-%06d", i),
+			User:    "synthetic",
+			Start:   time.Date(2019, 2, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+			Actions: actions,
+			Cluster: -1,
+		}
+	}
+	return out, nil
+}
+
+// MisuseScenario is a scripted abuse of the portal used to exercise the
+// online monitor and the top-suspicious-sessions experiment. The scenarios
+// follow the paper's expert guidance: active modification of existing user
+// profiles (mass deletion, password resets and unlocks, account creation
+// sprees) is what should alarm the operators.
+type MisuseScenario int
+
+// Scripted misuse scenarios.
+const (
+	// MisuseMassDeletion repeatedly searches and deletes user profiles.
+	MisuseMassDeletion MisuseScenario = iota + 1
+	// MisuseAccountFactory creates many accounts and unlocks them, like
+	// the example flagged in the paper's §IV-D.
+	MisuseAccountFactory
+	// MisuseCredentialSweep resets passwords and unlocks access across
+	// many profiles.
+	MisuseCredentialSweep
+)
+
+// String returns the scenario name.
+func (m MisuseScenario) String() string {
+	switch m {
+	case MisuseMassDeletion:
+		return "mass-deletion"
+	case MisuseAccountFactory:
+		return "account-factory"
+	case MisuseCredentialSweep:
+		return "credential-sweep"
+	default:
+		return fmt.Sprintf("misuse(%d)", int(m))
+	}
+}
+
+// MisuseSession generates one scripted misuse session with the given
+// number of repetitions of the abusive core loop.
+func MisuseSession(scenario MisuseScenario, reps int, seed int64) (*actionlog.Session, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("logsim: reps must be >= 1, got %d", reps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var core [][]string
+	switch scenario {
+	case MisuseMassDeletion:
+		core = [][]string{
+			{"ActionSearchUsr", "ActionWarningDeleteUser", "ActionDeleteUser"},
+			{"ActionSearchUsr", "ActionDeleteUser"},
+		}
+	case MisuseAccountFactory:
+		core = [][]string{
+			{"ActionCreateUser", "ActionCreateUser"},
+			{"ActionCreateUser", "ActionUnLockUser"},
+			{"ActionSearchUsr", "ActionCreateUser"},
+		}
+	case MisuseCredentialSweep:
+		core = [][]string{
+			{"ActionSearchUsr", "ActionResetPwdUnlock"},
+			{"ActionSearchUsr", "ActionUnLockUser", "ActionResetPwd"},
+		}
+	default:
+		return nil, fmt.Errorf("logsim: unknown scenario %v", scenario)
+	}
+	var actions []string
+	for i := 0; i < reps; i++ {
+		actions = append(actions, core[rng.Intn(len(core))]...)
+	}
+	return &actionlog.Session{
+		ID:      fmt.Sprintf("misuse-%s-%d", scenario, seed),
+		User:    "insider",
+		Start:   time.Date(2019, 2, 2, 3, 0, 0, 0, time.UTC),
+		Actions: actions,
+		Cluster: -1,
+	}, nil
+}
+
+// InjectMisuse returns sessions plus count scripted misuse sessions cycling
+// through all scenarios, shuffled deterministically; it returns the
+// combined slice and the IDs of the injected sessions.
+func InjectMisuse(sessions []*actionlog.Session, count int, seed int64) ([]*actionlog.Session, []string, error) {
+	scenarios := []MisuseScenario{MisuseMassDeletion, MisuseAccountFactory, MisuseCredentialSweep}
+	rng := rand.New(rand.NewSource(seed))
+	combined := make([]*actionlog.Session, len(sessions), len(sessions)+count)
+	copy(combined, sessions)
+	ids := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		s, err := MisuseSession(scenarios[i%len(scenarios)], 3+rng.Intn(5), seed+int64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		s.ID = fmt.Sprintf("%s-%03d", s.ID, i)
+		ids = append(ids, s.ID)
+		combined = append(combined, s)
+	}
+	rng.Shuffle(len(combined), func(i, j int) { combined[i], combined[j] = combined[j], combined[i] })
+	return combined, ids, nil
+}

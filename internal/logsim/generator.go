@@ -1,0 +1,241 @@
+package logsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"misusedetect/internal/actionlog"
+)
+
+// Config controls the simulated recording. The defaults reproduce the
+// corpus statistics the paper reports for the DiSIEM dataset.
+type Config struct {
+	// Sessions is the number of sessions to record (~15,000 in the paper).
+	Sessions int
+	// Users is the operator population (~1,400 in the paper).
+	Users int
+	// Days is the recording window (31 in the paper).
+	Days int
+	// Start is the beginning of the recording window.
+	Start time.Time
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// TailBoostProb occasionally multiplies a session's routine count,
+	// modeling operators who keep a work screen open for hours; it
+	// produces the >800-action maximum of the paper's Figure 3.
+	TailBoostProb float64
+	// Profiles defaults to DefaultProfiles when nil.
+	Profiles []Profile
+}
+
+// PaperConfig returns the configuration matching the dataset the paper
+// describes: 31 days, ~15,000 sessions, 1,400 users, ~300 actions.
+func PaperConfig(seed int64) Config {
+	return Config{
+		Sessions:      15000,
+		Users:         1400,
+		Days:          31,
+		Start:         time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		Seed:          seed,
+		TailBoostProb: 0.004,
+	}
+}
+
+// ScaledConfig returns PaperConfig shrunk by the given factor (>= 1),
+// keeping the cluster-size skew while making CPU-bound experiments
+// tractable; factor 1 is the paper-scale corpus.
+func ScaledConfig(seed int64, factor int) Config {
+	if factor < 1 {
+		factor = 1
+	}
+	cfg := PaperConfig(seed)
+	cfg.Sessions /= factor
+	cfg.Users /= factor
+	if cfg.Users < 10 {
+		cfg.Users = 10
+	}
+	return cfg
+}
+
+func (c *Config) validate() error {
+	if c.Sessions <= 0 {
+		return fmt.Errorf("logsim: Sessions must be positive, got %d", c.Sessions)
+	}
+	if c.Users <= 0 {
+		return fmt.Errorf("logsim: Users must be positive, got %d", c.Users)
+	}
+	if c.Days <= 0 {
+		return fmt.Errorf("logsim: Days must be positive, got %d", c.Days)
+	}
+	if c.TailBoostProb < 0 || c.TailBoostProb > 1 {
+		return fmt.Errorf("logsim: TailBoostProb %v outside [0,1]", c.TailBoostProb)
+	}
+	return nil
+}
+
+// Corpus is a generated recording: the sessions, the vocabulary of the
+// simulated system, and the generating profiles (ground truth).
+type Corpus struct {
+	Sessions   []*actionlog.Session
+	Vocabulary *actionlog.Vocabulary
+	Profiles   []Profile
+}
+
+// ByCluster groups the corpus sessions by ground-truth profile ID.
+func (c *Corpus) ByCluster() [][]*actionlog.Session {
+	out := make([][]*actionlog.Session, len(c.Profiles))
+	for _, s := range c.Sessions {
+		if s.Cluster >= 0 && s.Cluster < len(out) {
+			out[s.Cluster] = append(out[s.Cluster], s)
+		}
+	}
+	return out
+}
+
+// Generate produces a corpus under cfg. Generation is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = DefaultProfiles()
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("logsim: no profiles")
+	}
+	vocab, err := actionlog.NewVocabulary(ActionNames())
+	if err != nil {
+		return nil, fmt.Errorf("logsim: build vocabulary: %w", err)
+	}
+	for pi, p := range profiles {
+		for ri, r := range p.Routines {
+			for _, a := range r.Actions {
+				if !vocab.Contains(a) {
+					return nil, fmt.Errorf("logsim: profile %d routine %d uses unknown action %q", pi, ri, a)
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users := assignUsers(cfg.Users, profiles, rng)
+	window := time.Duration(cfg.Days) * 24 * time.Hour
+
+	var totalPop float64
+	for _, p := range profiles {
+		totalPop += p.Popularity
+	}
+	if totalPop <= 0 {
+		return nil, fmt.Errorf("logsim: total profile popularity must be positive")
+	}
+
+	sessions := make([]*actionlog.Session, 0, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		pi := sampleProfile(profiles, totalPop, rng)
+		p := &profiles[pi]
+		user := users.pick(pi, rng)
+		start := cfg.Start.Add(time.Duration(rng.Int63n(int64(window))))
+		actions := generateActions(p, cfg.TailBoostProb, rng)
+		sessions = append(sessions, &actionlog.Session{
+			ID:      fmt.Sprintf("sess-%06d", i),
+			User:    user,
+			Start:   start,
+			Actions: actions,
+			Cluster: p.ID,
+		})
+	}
+	return &Corpus{Sessions: sessions, Vocabulary: vocab, Profiles: profiles}, nil
+}
+
+// sampleProfile draws a profile index proportional to popularity.
+func sampleProfile(profiles []Profile, totalPop float64, rng *rand.Rand) int {
+	x := rng.Float64() * totalPop
+	for i := range profiles {
+		x -= profiles[i].Popularity
+		if x < 0 {
+			return i
+		}
+	}
+	return len(profiles) - 1
+}
+
+// generateActions realizes one session from a profile: a geometric number
+// of routines, with per-action navigation noise and the occasional tail
+// boost for marathon sessions.
+func generateActions(p *Profile, tailBoost float64, rng *rand.Rand) []string {
+	routines := 1
+	for rng.Float64() < p.ContinueProb {
+		routines++
+		if routines >= 4096 { // hard cap against pathological configs
+			break
+		}
+	}
+	if tailBoost > 0 && rng.Float64() < tailBoost {
+		routines = routines*4 + 80
+	}
+	var totalWeight float64
+	for _, r := range p.Routines {
+		totalWeight += r.Weight
+	}
+	var actions []string
+	for g := 0; g < routines; g++ {
+		r := sampleRoutine(p.Routines, totalWeight, rng)
+		for _, a := range r.Actions {
+			actions = append(actions, a)
+			if rng.Float64() < p.NoiseRate {
+				actions = append(actions, noiseActions[rng.Intn(len(noiseActions))])
+			}
+		}
+	}
+	return actions
+}
+
+func sampleRoutine(routines []Routine, totalWeight float64, rng *rand.Rand) *Routine {
+	x := rng.Float64() * totalWeight
+	for i := range routines {
+		x -= routines[i].Weight
+		if x < 0 {
+			return &routines[i]
+		}
+	}
+	return &routines[len(routines)-1]
+}
+
+// userPool maps profiles to the operators who work in them. Real portals
+// have specialized teams; each simulated user belongs to one primary
+// profile and occasionally moonlights in a second.
+type userPool struct {
+	byProfile [][]string
+}
+
+func assignUsers(n int, profiles []Profile, rng *rand.Rand) *userPool {
+	pool := &userPool{byProfile: make([][]string, len(profiles))}
+	var totalPop float64
+	for _, p := range profiles {
+		totalPop += p.Popularity
+	}
+	for u := 0; u < n; u++ {
+		name := fmt.Sprintf("operator-%04d", u)
+		primary := sampleProfile(profiles, totalPop, rng)
+		pool.byProfile[primary] = append(pool.byProfile[primary], name)
+		if rng.Float64() < 0.2 {
+			secondary := rng.Intn(len(profiles))
+			pool.byProfile[secondary] = append(pool.byProfile[secondary], name)
+		}
+	}
+	// Guarantee every profile has at least one operator.
+	for i := range pool.byProfile {
+		if len(pool.byProfile[i]) == 0 {
+			pool.byProfile[i] = append(pool.byProfile[i], fmt.Sprintf("operator-x%02d", i))
+		}
+	}
+	return pool
+}
+
+func (p *userPool) pick(profile int, rng *rand.Rand) string {
+	users := p.byProfile[profile]
+	return users[rng.Intn(len(users))]
+}

@@ -1,0 +1,290 @@
+package logsim
+
+import (
+	"testing"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/tensor"
+)
+
+func TestActionNamesVocabulary(t *testing.T) {
+	names := ActionNames()
+	if len(names) != 300 {
+		t.Fatalf("vocabulary size = %d, want 300 (the paper's ~300 actions)", len(names))
+	}
+	seen := map[string]struct{}{}
+	for _, n := range names {
+		if _, dup := seen[n]; dup {
+			t.Fatalf("duplicate action %q", n)
+		}
+		seen[n] = struct{}{}
+	}
+	// Actions named verbatim in the paper must exist.
+	for _, a := range []string{
+		"ActionSearchUsr", "ActionDisplayUser", "ActionCreateUser",
+		"ActionDeleteUser", "ActionWarningDeleteUser", "ActionResetPwdUnlock",
+		"ActionUnLockUser", "ActionUnLockDisplayedUser", "ActionSearchOffice",
+		"ActionDisplayOneOffice", "ActionDisplayDirectTFARule",
+	} {
+		if _, ok := seen[a]; !ok {
+			t.Errorf("paper action %q missing from vocabulary", a)
+		}
+	}
+}
+
+func TestDefaultProfilesWellFormed(t *testing.T) {
+	profiles := DefaultProfiles()
+	if len(profiles) != 13 {
+		t.Fatalf("got %d profiles, want the paper's 13 clusters", len(profiles))
+	}
+	vocab, err := actionlog.NewVocabulary(ActionNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range profiles {
+		if p.ID != i {
+			t.Errorf("profile %d has ID %d", i, p.ID)
+		}
+		if p.ContinueProb < 0 || p.ContinueProb >= 1 {
+			t.Errorf("profile %s ContinueProb %v outside [0,1)", p.Name, p.ContinueProb)
+		}
+		if p.Popularity <= 0 {
+			t.Errorf("profile %s non-positive popularity", p.Name)
+		}
+		if len(p.Routines) == 0 {
+			t.Errorf("profile %s has no routines", p.Name)
+		}
+		for _, r := range p.Routines {
+			if r.Weight <= 0 || len(r.Actions) == 0 {
+				t.Errorf("profile %s routine %s malformed", p.Name, r.Name)
+			}
+			for _, a := range r.Actions {
+				if !vocab.Contains(a) {
+					t.Errorf("profile %s routine %s uses unknown action %q", p.Name, r.Name, a)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := ScaledConfig(42, 100) // 150 sessions
+	c1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Sessions) != len(c2.Sessions) {
+		t.Fatal("non-deterministic session count")
+	}
+	for i := range c1.Sessions {
+		a, b := c1.Sessions[i], c2.Sessions[i]
+		if a.ID != b.ID || a.User != b.User || len(a.Actions) != len(b.Actions) {
+			t.Fatalf("session %d differs between runs", i)
+		}
+		for j := range a.Actions {
+			if a.Actions[j] != b.Actions[j] {
+				t.Fatalf("session %d action %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Sessions: 0, Users: 1, Days: 1},
+		{Sessions: 1, Users: 0, Days: 1},
+		{Sessions: 1, Users: 1, Days: 0},
+		{Sessions: 1, Users: 1, Days: 1, TailBoostProb: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerateSessionsValid(t *testing.T) {
+	cfg := ScaledConfig(7, 50) // 300 sessions
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sessions) != cfg.Sessions {
+		t.Fatalf("got %d sessions, want %d", len(c.Sessions), cfg.Sessions)
+	}
+	for _, s := range c.Sessions {
+		if s.Len() == 0 {
+			t.Fatalf("session %s is empty", s.ID)
+		}
+		if s.Cluster < 0 || s.Cluster >= 13 {
+			t.Fatalf("session %s has cluster %d", s.ID, s.Cluster)
+		}
+		if _, err := c.Vocabulary.Encode(s); err != nil {
+			t.Fatalf("session %s not encodable: %v", s.ID, err)
+		}
+		end := cfg.Start.AddDate(0, 0, cfg.Days)
+		if s.Start.Before(cfg.Start) || !s.Start.Before(end) {
+			t.Fatalf("session %s starts outside window: %v", s.ID, s.Start)
+		}
+	}
+}
+
+func TestGenerateClusterSkew(t *testing.T) {
+	c, err := Generate(ScaledConfig(3, 10)) // 1500 sessions
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := c.ByCluster()
+	if len(clusters) != 13 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	smallest, largest := len(clusters[0]), len(clusters[0])
+	for _, cl := range clusters {
+		if len(cl) == 0 {
+			t.Fatal("empty cluster at 1500 sessions")
+		}
+		if len(cl) < smallest {
+			smallest = len(cl)
+		}
+		if len(cl) > largest {
+			largest = len(cl)
+		}
+	}
+	// The paper's clusters range from 177 to ~3500 of ~15000 sessions:
+	// roughly a 20x skew. Require at least 5x at this scale.
+	if largest < 5*smallest {
+		t.Errorf("cluster skew too flat: smallest %d largest %d", smallest, largest)
+	}
+}
+
+// Calibration against the paper's Figure 3 statistics: mean session length
+// about 15, 98th percentile below ~91 (we allow a band), maximum in the
+// hundreds.
+func TestGenerateLengthCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration is slow")
+	}
+	c, err := Generate(PaperConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := actionlog.ComputeLengthStats(c.Sessions, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean < 8 || stats.Mean > 25 {
+		t.Errorf("mean length %.1f outside [8,25] (paper: 15)", stats.Mean)
+	}
+	if stats.PctValue > 150 {
+		t.Errorf("98th percentile %.0f > 150 (paper: <91)", stats.PctValue)
+	}
+	if stats.Max < 300 {
+		t.Errorf("max length %.0f < 300 (paper: >800)", stats.Max)
+	}
+	lens := actionlog.Lengths(c.Sessions)
+	med, _ := tensor.Percentile(lens, 50)
+	if med > stats.Mean {
+		t.Errorf("median %.0f above mean %.1f; distribution should be right-skewed", med, stats.Mean)
+	}
+}
+
+func TestRandomSessions(t *testing.T) {
+	vocab, _ := actionlog.NewVocabulary(ActionNames())
+	ss, err := RandomSessions(vocab, 50, 5, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 50 {
+		t.Fatalf("got %d sessions", len(ss))
+	}
+	for _, s := range ss {
+		if s.Len() < 5 || s.Len() > 25 {
+			t.Fatalf("session length %d outside [5,25]", s.Len())
+		}
+		if s.Cluster != -1 {
+			t.Fatal("random sessions must have no cluster")
+		}
+		if _, err := vocab.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RandomSessions(vocab, -1, 5, 25, 0); err == nil {
+		t.Fatal("negative count must fail")
+	}
+	if _, err := RandomSessions(vocab, 1, 1, 0, 0); err == nil {
+		t.Fatal("bad interval must fail")
+	}
+}
+
+func TestMisuseSessionScenarios(t *testing.T) {
+	vocab, _ := actionlog.NewVocabulary(ActionNames())
+	for _, sc := range []MisuseScenario{MisuseMassDeletion, MisuseAccountFactory, MisuseCredentialSweep} {
+		s, err := MisuseSession(sc, 4, 11)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if s.Len() < 8 {
+			t.Fatalf("%v session too short: %d", sc, s.Len())
+		}
+		if _, err := vocab.Encode(s); err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+	}
+	if _, err := MisuseSession(MisuseScenario(99), 1, 0); err == nil {
+		t.Fatal("unknown scenario must fail")
+	}
+	if _, err := MisuseSession(MisuseMassDeletion, 0, 0); err == nil {
+		t.Fatal("zero reps must fail")
+	}
+}
+
+func TestMisuseScenarioString(t *testing.T) {
+	if MisuseMassDeletion.String() != "mass-deletion" {
+		t.Fatal(MisuseMassDeletion.String())
+	}
+	if MisuseScenario(99).String() == "" {
+		t.Fatal("unknown scenario must still format")
+	}
+}
+
+func TestInjectMisuse(t *testing.T) {
+	c, err := Generate(ScaledConfig(5, 150)) // 100 sessions
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, ids, err := InjectMisuse(c.Sessions, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != len(c.Sessions)+6 || len(ids) != 6 {
+		t.Fatalf("combined=%d ids=%d", len(combined), len(ids))
+	}
+	found := 0
+	idSet := map[string]struct{}{}
+	for _, id := range ids {
+		idSet[id] = struct{}{}
+	}
+	for _, s := range combined {
+		if _, ok := idSet[s.ID]; ok {
+			found++
+		}
+	}
+	if found != 6 {
+		t.Fatalf("found %d injected sessions in combined stream", found)
+	}
+}
+
+func TestScaledConfigFloors(t *testing.T) {
+	cfg := ScaledConfig(1, 1000000)
+	if cfg.Users < 10 {
+		t.Fatalf("users floor violated: %d", cfg.Users)
+	}
+	cfg2 := ScaledConfig(1, 0)
+	if cfg2.Sessions != 15000 {
+		t.Fatalf("factor<1 should clamp to paper scale, got %d", cfg2.Sessions)
+	}
+}

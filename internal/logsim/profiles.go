@@ -1,0 +1,215 @@
+package logsim
+
+// Routine is a short, semantically coherent workflow fragment: a sequence
+// of actions an operator performs as one unit (e.g. search for a user,
+// display the record, unlock it). Sessions are concatenations of routines,
+// which is what gives the corpus the frequent sequential patterns and
+// topic structure the paper's pipeline mines.
+type Routine struct {
+	// Name labels the fragment for debugging and pattern-mining tests.
+	Name string
+	// Actions is the ordered action-name sequence.
+	Actions []string
+	// Weight is the relative sampling weight within the profile.
+	Weight float64
+}
+
+// Profile is one latent behavior cluster: a distribution over routines
+// plus session-shape parameters. The simulator ships 13 profiles, matching
+// the 13 expert-identified clusters of the paper.
+type Profile struct {
+	// ID is the ground-truth cluster index.
+	ID int
+	// Name describes the behavior (mirrors the paper's examples: user
+	// unlocking, role modification, office editing, ...).
+	Name string
+	// Routines the profile draws from.
+	Routines []Routine
+	// ContinueProb is the probability of appending another routine after
+	// each one; the geometric routine count gives sessions their
+	// heavy-ish tail, and near-1 values make the batch profiles long.
+	ContinueProb float64
+	// NoiseRate is the per-action probability of inserting one generic
+	// navigation action after it.
+	NoiseRate float64
+	// Popularity is the relative share of sessions generated from this
+	// profile; the paper's clusters are strongly skewed (177 to ~3,500
+	// sessions out of ~15k).
+	Popularity float64
+}
+
+// noiseActions is shared portal chrome inserted by every profile.
+var noiseActions = []string{
+	"ActionHome", "ActionHelp", "ActionNextPage", "ActionPrevPage",
+	"ActionRefreshView",
+}
+
+// DefaultProfiles returns the 13 behavior profiles of the simulated
+// portal. Popularity weights are calibrated so that with ~15k sessions the
+// smallest cluster lands near the paper's 177 sessions and the largest
+// near 3,500, and the mix of ContinueProb values reproduces the length
+// statistics (mean ~15, 98th percentile < ~91, max > 800).
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{
+			ID: 0, Name: "user-unlocking",
+			Routines: []Routine{
+				{Name: "unlock-by-search", Weight: 3, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionUnLockDisplayedUser"}},
+				{Name: "unlock-direct", Weight: 2, Actions: []string{
+					"ActionSearchUsr", "ActionUnLockUser"}},
+				{Name: "reset-and-unlock", Weight: 2, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionResetPwdUnlock"}},
+				{Name: "verify-unlock", Weight: 1, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionAuditUser"}},
+			},
+			ContinueProb: 0.62, NoiseRate: 0.05, Popularity: 0.20,
+		},
+		{
+			ID: 1, Name: "role-modification",
+			Routines: []Routine{
+				{Name: "grant-role", Weight: 3, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionSearchRole",
+					"ActionAssignRole"}},
+				{Name: "revoke-role", Weight: 2, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionRevokeRole"}},
+				{Name: "edit-role", Weight: 1, Actions: []string{
+					"ActionSearchRole", "ActionDisplayRole", "ActionModifyRole",
+					"ActionValidateRole"}},
+			},
+			ContinueProb: 0.55, NoiseRate: 0.05, Popularity: 0.13,
+		},
+		{
+			ID: 2, Name: "office-editing",
+			Routines: []Routine{
+				{Name: "edit-office", Weight: 3, Actions: []string{
+					"ActionSearchOffice", "ActionDisplayOneOffice",
+					"ActionModifyOffice", "ActionValidateOffice"}},
+				{Name: "create-office", Weight: 1, Actions: []string{
+					"ActionCreateOffice", "ActionModifyOffice", "ActionValidateOffice"}},
+				{Name: "review-office", Weight: 2, Actions: []string{
+					"ActionSearchOffice", "ActionDisplayOneOffice"}},
+			},
+			ContinueProb: 0.55, NoiseRate: 0.06, Popularity: 0.10,
+		},
+		{
+			ID: 3, Name: "user-provisioning",
+			Routines: []Routine{
+				{Name: "create-user", Weight: 3, Actions: []string{
+					"ActionCreateUser", "ActionModifyProfile", "ActionAssignRole",
+					"ActionValidateUser"}},
+				{Name: "clone-user", Weight: 1, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionCloneUser",
+					"ActionValidateUser"}},
+			},
+			ContinueProb: 0.58, NoiseRate: 0.05, Popularity: 0.085,
+		},
+		{
+			ID: 4, Name: "user-deprovisioning",
+			Routines: []Routine{
+				{Name: "delete-user", Weight: 3, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionWarningDeleteUser",
+					"ActionDeleteUser"}},
+				{Name: "archive-user", Weight: 1, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionArchiveUser"}},
+				{Name: "revoke-access", Weight: 1, Actions: []string{
+					"ActionSearchUsr", "ActionRevokeToken", "ActionRevokeCertificate"}},
+			},
+			ContinueProb: 0.50, NoiseRate: 0.04, Popularity: 0.055,
+		},
+		{
+			ID: 5, Name: "password-helpdesk",
+			Routines: []Routine{
+				{Name: "reset-password", Weight: 4, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionResetPwd"}},
+				{Name: "reset-unlock", Weight: 2, Actions: []string{
+					"ActionSearchUsr", "ActionResetPwdUnlock"}},
+			},
+			ContinueProb: 0.66, NoiseRate: 0.04, Popularity: 0.16,
+		},
+		{
+			ID: 6, Name: "tfa-administration",
+			Routines: []Routine{
+				{Name: "inspect-rule", Weight: 3, Actions: []string{
+					"ActionSearchTFARule", "ActionDisplayDirectTFARule"}},
+				{Name: "edit-rule", Weight: 2, Actions: []string{
+					"ActionSearchTFARule", "ActionDisplayDirectTFARule",
+					"ActionModifyTFARule", "ActionValidateTFARule"}},
+				{Name: "create-rule", Weight: 1, Actions: []string{
+					"ActionCreateTFARule", "ActionModifyTFARule", "ActionValidateTFARule"}},
+			},
+			ContinueProb: 0.52, NoiseRate: 0.05, Popularity: 0.045,
+		},
+		{
+			ID: 7, Name: "reporting-audit",
+			Routines: []Routine{
+				{Name: "run-report", Weight: 3, Actions: []string{
+					"ActionSearchReport", "ActionDisplayReport", "ActionExportReport"}},
+				{Name: "audit-trail", Weight: 2, Actions: []string{
+					"ActionListReport", "ActionAuditUser", "ActionAuditOffice"}},
+				{Name: "page-report", Weight: 3, Actions: []string{
+					"ActionDisplayReport", "ActionNextPage", "ActionNextPage"}},
+			},
+			ContinueProb: 0.93, NoiseRate: 0.08, Popularity: 0.035,
+		},
+		{
+			ID: 8, Name: "queue-monitoring",
+			Routines: []Routine{
+				{Name: "watch-queue", Weight: 4, Actions: []string{
+					"ActionDisplayQueue", "ActionRefreshView"}},
+				{Name: "triage-alert", Weight: 2, Actions: []string{
+					"ActionListAlert", "ActionDisplayAlert", "ActionApproveAlert"}},
+				{Name: "reject-alert", Weight: 1, Actions: []string{
+					"ActionListAlert", "ActionDisplayAlert", "ActionRejectAlert"}},
+			},
+			ContinueProb: 0.965, NoiseRate: 0.06, Popularity: 0.022,
+		},
+		{
+			ID: 9, Name: "profile-browsing",
+			Routines: []Routine{
+				{Name: "lookup", Weight: 5, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser"}},
+				{Name: "lookup-office", Weight: 2, Actions: []string{
+					"ActionSearchOffice", "ActionDisplayOneOffice"}},
+				{Name: "browse-home", Weight: 1, Actions: []string{
+					"ActionHome", "ActionOpenDashboard"}},
+			},
+			ContinueProb: 0.45, NoiseRate: 0.08, Popularity: 0.23,
+		},
+		{
+			ID: 10, Name: "bulk-user-maintenance",
+			Routines: []Routine{
+				{Name: "bulk-modify", Weight: 3, Actions: []string{
+					"ActionSearchUsr", "ActionDisplayUser", "ActionModifyUser",
+					"ActionValidateUser"}},
+				{Name: "bulk-group", Weight: 2, Actions: []string{
+					"ActionSearchGroup", "ActionDisplayGroup", "ActionAssignGroup"}},
+			},
+			ContinueProb: 0.97, NoiseRate: 0.04, Popularity: 0.016,
+		},
+		{
+			ID: 11, Name: "certificate-token",
+			Routines: []Routine{
+				{Name: "issue-cert", Weight: 2, Actions: []string{
+					"ActionCreateCertificate", "ActionValidateCertificate",
+					"ActionAssignCertificate"}},
+				{Name: "rotate-token", Weight: 2, Actions: []string{
+					"ActionSearchToken", "ActionRevokeToken", "ActionCreateToken"}},
+				{Name: "inspect-cert", Weight: 1, Actions: []string{
+					"ActionSearchCertificate", "ActionDisplayCertificate"}},
+			},
+			ContinueProb: 0.50, NoiseRate: 0.05, Popularity: 0.022,
+		},
+		{
+			ID: 12, Name: "policy-configuration",
+			Routines: []Routine{
+				{Name: "edit-policy", Weight: 3, Actions: []string{
+					"ActionSearchPolicy", "ActionDisplayPolicy", "ActionModifyPolicy",
+					"ActionValidatePolicy"}},
+				{Name: "approve-policy", Weight: 1, Actions: []string{
+					"ActionListPolicy", "ActionDisplayPolicy", "ActionApprovePolicy"}},
+			},
+			ContinueProb: 0.48, NoiseRate: 0.05, Popularity: 0.012,
+		},
+	}
+}

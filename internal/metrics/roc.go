@@ -1,0 +1,119 @@
+// Package metrics provides detection-quality metrics (ROC curves, AUC,
+// operating points) for anomaly scores. The paper validates normality
+// qualitatively (averages and expert review); this package adds the
+// quantitative view a deployment needs: given normality scores for known
+// normal and known anomalous sessions, how well does a threshold
+// separate them?
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one point of a ROC curve.
+type ROCPoint struct {
+	// Threshold classifies scores < Threshold as anomalous.
+	Threshold float64
+	// TruePositiveRate is the fraction of anomalies flagged.
+	TruePositiveRate float64
+	// FalsePositiveRate is the fraction of normals flagged.
+	FalsePositiveRate float64
+}
+
+// ROC computes the ROC curve for a *normality* score (higher = more
+// normal): anomalies should score low, so a session is flagged when its
+// score falls below the threshold. It returns the curve from (0,0) to
+// (1,1) and the area under it.
+func ROC(normalScores, anomalyScores []float64) ([]ROCPoint, float64, error) {
+	if len(normalScores) == 0 || len(anomalyScores) == 0 {
+		return nil, 0, fmt.Errorf("metrics: ROC needs both normal (%d) and anomaly (%d) scores",
+			len(normalScores), len(anomalyScores))
+	}
+	type labeled struct {
+		score   float64
+		anomaly bool
+	}
+	all := make([]labeled, 0, len(normalScores)+len(anomalyScores))
+	for _, s := range normalScores {
+		all = append(all, labeled{s, false})
+	}
+	for _, s := range anomalyScores {
+		all = append(all, labeled{s, true})
+	}
+	// Ascending score: flagging everything below a growing threshold.
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+
+	curve := []ROCPoint{{Threshold: all[0].score, TruePositiveRate: 0, FalsePositiveRate: 0}}
+	tp, fp := 0, 0
+	nAnom := float64(len(anomalyScores))
+	nNorm := float64(len(normalScores))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].score == all[i].score {
+			if all[j].anomaly {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold:         all[i].score,
+			TruePositiveRate:  float64(tp) / nAnom,
+			FalsePositiveRate: float64(fp) / nNorm,
+		})
+		i = j
+	}
+	// Trapezoidal AUC over the curve.
+	var auc float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FalsePositiveRate - curve[i-1].FalsePositiveRate
+		auc += dx * (curve[i].TruePositiveRate + curve[i-1].TruePositiveRate) / 2
+	}
+	return curve, auc, nil
+}
+
+// TPRAtFPR returns the true-positive rate achievable at (or below) the
+// given false-positive budget, the operating point a security team cares
+// about ("what do we catch at 1% false alarms?").
+func TPRAtFPR(curve []ROCPoint, maxFPR float64) (float64, error) {
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("metrics: empty ROC curve")
+	}
+	if maxFPR < 0 || maxFPR > 1 {
+		return 0, fmt.Errorf("metrics: FPR budget %v outside [0,1]", maxFPR)
+	}
+	best := 0.0
+	for _, p := range curve {
+		if p.FalsePositiveRate <= maxFPR && p.TruePositiveRate > best {
+			best = p.TruePositiveRate
+		}
+	}
+	return best, nil
+}
+
+// PrecisionRecallAt computes precision and recall when flagging scores
+// below the threshold.
+func PrecisionRecallAt(normalScores, anomalyScores []float64, threshold float64) (precision, recall float64, err error) {
+	if len(anomalyScores) == 0 {
+		return 0, 0, fmt.Errorf("metrics: no anomaly scores")
+	}
+	tp, fp := 0, 0
+	for _, s := range anomalyScores {
+		if s < threshold {
+			tp++
+		}
+	}
+	for _, s := range normalScores {
+		if s < threshold {
+			fp++
+		}
+	}
+	recall = float64(tp) / float64(len(anomalyScores))
+	if tp+fp == 0 {
+		return 0, recall, nil
+	}
+	precision = float64(tp) / float64(tp+fp)
+	return precision, recall, nil
+}

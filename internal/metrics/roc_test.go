@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCValidation(t *testing.T) {
+	if _, _, err := ROC(nil, []float64{1}); err == nil {
+		t.Fatal("empty normals must fail")
+	}
+	if _, _, err := ROC([]float64{1}, nil); err == nil {
+		t.Fatal("empty anomalies must fail")
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	normal := []float64{0.8, 0.9, 0.7}
+	anomaly := []float64{0.1, 0.2, 0.05}
+	curve, auc, err := ROC(normal, anomaly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("perfect separation AUC = %v, want 1", auc)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TruePositiveRate != 0 || first.FalsePositiveRate != 0 {
+		t.Fatalf("curve must start at origin: %+v", first)
+	}
+	if last.TruePositiveRate != 1 || last.FalsePositiveRate != 1 {
+		t.Fatalf("curve must end at (1,1): %+v", last)
+	}
+}
+
+func TestROCInvertedScores(t *testing.T) {
+	// Anomalies scoring HIGHER than normals: AUC below 0.5.
+	normal := []float64{0.1, 0.2}
+	anomaly := []float64{0.8, 0.9}
+	_, auc, err := ROC(normal, anomaly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 1e-12 {
+		t.Fatalf("inverted scores AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	normal := make([]float64, 2000)
+	anomaly := make([]float64, 2000)
+	for i := range normal {
+		normal[i] = rng.Float64()
+		anomaly[i] = rng.Float64()
+	}
+	_, auc, err := ROC(normal, anomaly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.45 || auc > 0.55 {
+		t.Fatalf("random scores AUC = %v, want ~0.5", auc)
+	}
+}
+
+// Property: AUC is always in [0,1] and the curve is monotone.
+func TestROCBoundsProperty(t *testing.T) {
+	f := func(a, b [6]uint8) bool {
+		normal := make([]float64, 6)
+		anomaly := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			normal[i] = float64(a[i])
+			anomaly[i] = float64(b[i])
+		}
+		curve, auc, err := ROC(normal, anomaly)
+		if err != nil {
+			return false
+		}
+		if auc < -1e-12 || auc > 1+1e-12 {
+			return false
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].TruePositiveRate < curve[i-1].TruePositiveRate-1e-12 {
+				return false
+			}
+			if curve[i].FalsePositiveRate < curve[i-1].FalsePositiveRate-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPRAtFPR(t *testing.T) {
+	curve := []ROCPoint{
+		{FalsePositiveRate: 0, TruePositiveRate: 0},
+		{FalsePositiveRate: 0.01, TruePositiveRate: 0.6},
+		{FalsePositiveRate: 0.1, TruePositiveRate: 0.9},
+		{FalsePositiveRate: 1, TruePositiveRate: 1},
+	}
+	got, err := TPRAtFPR(curve, 0.05)
+	if err != nil || got != 0.6 {
+		t.Fatalf("TPR@5%%FPR = %v, %v", got, err)
+	}
+	got, _ = TPRAtFPR(curve, 1)
+	if got != 1 {
+		t.Fatalf("TPR@100%% = %v", got)
+	}
+	if _, err := TPRAtFPR(nil, 0.1); err == nil {
+		t.Fatal("empty curve must fail")
+	}
+	if _, err := TPRAtFPR(curve, 2); err == nil {
+		t.Fatal("bad budget must fail")
+	}
+}
+
+func TestPrecisionRecallAt(t *testing.T) {
+	normal := []float64{0.9, 0.8, 0.1} // one normal below threshold
+	anomaly := []float64{0.05, 0.2, 0.7}
+	p, r, err := PrecisionRecallAt(normal, anomaly, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flagged: anomalies 0.05, 0.2 (tp=2), normal 0.1 (fp=1).
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("precision=%v recall=%v", p, r)
+	}
+	p, r, err = PrecisionRecallAt(normal, anomaly, 0)
+	if err != nil || p != 0 || r != 0 {
+		t.Fatalf("nothing flagged: p=%v r=%v err=%v", p, r, err)
+	}
+	if _, _, err := PrecisionRecallAt(normal, nil, 0.5); err == nil {
+		t.Fatal("no anomalies must fail")
+	}
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// paperSizedNet builds a network at the paper's published size: 256 LSTM
+// units over a 300-action vocabulary.
+func paperSizedNet(b *testing.B) *LanguageNetwork {
+	b.Helper()
+	net, err := NewLanguageNetwork(NetworkConfig{InputSize: 300, HiddenSize: 256, DropoutRate: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func randomSeq(n, vocab int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = rng.Intn(vocab)
+	}
+	return seq
+}
+
+// BenchmarkLSTMStepPaperSize measures one forward step at the paper's
+// model size (the per-action cost of the online monitor's inner loop).
+func BenchmarkLSTMStepPaperSize(b *testing.B) {
+	net := paperSizedNet(b)
+	st := net.lstm.NewState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.lstm.Step(st, i%300, nil)
+	}
+}
+
+// BenchmarkForwardAllAvgSession measures scoring one average-length
+// session (15 actions) at paper size.
+func BenchmarkForwardAllAvgSession(b *testing.B) {
+	net := paperSizedNet(b)
+	seq := randomSeq(15, 300, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ForwardAll(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainSequencePaperSize measures one BPTT pass over an
+// average session at paper size (the training inner loop).
+func BenchmarkTrainSequencePaperSize(b *testing.B) {
+	net := paperSizedNet(b)
+	seq := randomSeq(15, 300, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.TrainSequence(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainWindowPaper measures the paper's exact many-to-one window
+// formulation on a full 99-action context.
+func BenchmarkTrainWindowPaper(b *testing.B) {
+	net := paperSizedNet(b)
+	input := randomSeq(99, 300, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.TrainWindow(input, i%300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdamStepPaperSize measures one optimizer step over the full
+// parameter set.
+func BenchmarkAdamStepPaperSize(b *testing.B) {
+	net := paperSizedNet(b)
+	adam, err := NewAdam(0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := net.Params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adam.Step(params)
+	}
+}

@@ -1,0 +1,128 @@
+// Package nn is a from-scratch neural-network stack sufficient for the
+// paper's behavior models: an LSTM recurrent layer, a dense softmax output
+// layer, inverted dropout, softmax cross-entropy loss, the Adam optimizer
+// with global-norm gradient clipping, and gob serialization. It follows
+// the paper's architecture exactly — one LSTM layer, a dropout layer, and
+// a dense layer with softmax activation — with the paper's
+// hyperparameters (256 units, dropout 0.4, minibatch 32, learning rate
+// 0.001) available as defaults.
+//
+// Everything is float64 and CPU-bound; correctness is established by
+// finite-difference gradient checks in the test suite.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"misusedetect/internal/tensor"
+)
+
+// Param is one trainable weight matrix (vectors are 1 x n matrices)
+// together with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter in serialized models and debugging.
+	Name string
+	// W is the weight storage.
+	W *tensor.Matrix
+	// G accumulates dLoss/dW between optimizer steps.
+	G *tensor.Matrix
+}
+
+// NewParam allocates a zeroed parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.NewMatrix(rows, cols), G: tensor.NewMatrix(rows, cols)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// GradNorm returns the global L2 norm of the gradients of params.
+func GradNorm(params []*Param) float64 {
+	var s float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGradNorm rescales all gradients so their global norm is at most
+// maxNorm; it returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) over a parameter set.
+type Adam struct {
+	// LearningRate is the step size (0.001 in the paper).
+	LearningRate float64
+	// Beta1, Beta2 are the moment decay rates.
+	Beta1, Beta2 float64
+	// Epsilon stabilizes the denominator.
+	Epsilon float64
+
+	step int
+	m    map[*Param]*tensor.Matrix
+	v    map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with standard moment settings.
+func NewAdam(lr float64) (*Adam, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %v", lr)
+	}
+	return &Adam{
+		LearningRate: lr,
+		Beta1:        0.9,
+		Beta2:        0.999,
+		Epsilon:      1e-8,
+		m:            make(map[*Param]*tensor.Matrix),
+		v:            make(map[*Param]*tensor.Matrix),
+	}, nil
+}
+
+// Step applies one Adam update to every parameter using its accumulated
+// gradient, then zeroes the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.NewMatrix(p.W.Rows, p.W.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.G.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / c1
+			vHat := v.Data[i] / c2
+			p.W.Data[i] -= a.LearningRate * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// sigmoid is the logistic function.
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

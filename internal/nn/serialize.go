@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// serializedParam is the gob wire form of one parameter.
+type serializedParam struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// serializedNetwork is the gob wire form of a LanguageNetwork.
+type serializedNetwork struct {
+	Config NetworkConfig
+	Params []serializedParam
+}
+
+// Save writes the network weights and configuration to w with gob.
+func (n *LanguageNetwork) Save(w io.Writer) error {
+	s := serializedNetwork{Config: n.cfg}
+	for _, p := range n.Params() {
+		s.Params = append(s.Params, serializedParam{
+			Name: p.Name,
+			Rows: p.W.Rows,
+			Cols: p.W.Cols,
+			Data: append([]float64(nil), p.W.Data...),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("nn: save network: %w", err)
+	}
+	return nil
+}
+
+// LoadLanguageNetwork reads a network previously written by Save.
+func LoadLanguageNetwork(r io.Reader) (*LanguageNetwork, error) {
+	var s serializedNetwork
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load network: %w", err)
+	}
+	n, err := NewLanguageNetwork(s.Config)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load network config: %w", err)
+	}
+	params := n.Params()
+	if len(params) != len(s.Params) {
+		return nil, fmt.Errorf("nn: load network: %d params, want %d", len(s.Params), len(params))
+	}
+	for i, sp := range s.Params {
+		p := params[i]
+		if p.Name != sp.Name || p.W.Rows != sp.Rows || p.W.Cols != sp.Cols {
+			return nil, fmt.Errorf("nn: load network: param %d is %s %dx%d, want %s %dx%d",
+				i, sp.Name, sp.Rows, sp.Cols, p.Name, p.W.Rows, p.W.Cols)
+		}
+		if len(sp.Data) != sp.Rows*sp.Cols {
+			return nil, fmt.Errorf("nn: load network: param %s has %d values for %dx%d",
+				sp.Name, len(sp.Data), sp.Rows, sp.Cols)
+		}
+		copy(p.W.Data, sp.Data)
+	}
+	return n, nil
+}

@@ -1,0 +1,107 @@
+package ocsvm
+
+import "fmt"
+
+// FeatureMode selects how sessions become feature vectors.
+type FeatureMode int
+
+// Feature modes.
+const (
+	// FeatureCounts uses raw action counts. This is the default and
+	// deliberately length-sensitive: long sessions drift away from the
+	// training distribution in RBF space, which reproduces the paper's
+	// Figure 6 observation that "all the sessions longer than the
+	// average length are considered to be outliers by all the OC-SVMs".
+	FeatureCounts FeatureMode = iota + 1
+	// FeatureFrequencies normalizes counts by session length, an
+	// ablation that removes the length sensitivity.
+	FeatureFrequencies
+)
+
+// Featurizer converts encoded sessions (action-index slices) into the
+// fixed-length vectors the OC-SVMs consume.
+type Featurizer struct {
+	vocabSize int
+	mode      FeatureMode
+}
+
+// NewFeaturizer builds a featurizer over a vocabulary of the given size.
+func NewFeaturizer(vocabSize int, mode FeatureMode) (*Featurizer, error) {
+	if vocabSize < 1 {
+		return nil, fmt.Errorf("ocsvm: vocabSize must be >= 1, got %d", vocabSize)
+	}
+	switch mode {
+	case FeatureCounts, FeatureFrequencies:
+	default:
+		return nil, fmt.Errorf("ocsvm: unknown feature mode %d", mode)
+	}
+	return &Featurizer{vocabSize: vocabSize, mode: mode}, nil
+}
+
+// Dim returns the feature dimension.
+func (f *Featurizer) Dim() int { return f.vocabSize }
+
+// Session featurizes one encoded session (or any prefix of one).
+func (f *Featurizer) Session(encoded []int) ([]float64, error) {
+	x := make([]float64, f.vocabSize)
+	for i, a := range encoded {
+		if a < 0 || a >= f.vocabSize {
+			return nil, fmt.Errorf("ocsvm: position %d action %d outside vocab %d", i, a, f.vocabSize)
+		}
+		x[a]++
+	}
+	if f.mode == FeatureFrequencies && len(encoded) > 0 {
+		inv := 1 / float64(len(encoded))
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return x, nil
+}
+
+// Corpus featurizes a batch of encoded sessions.
+func (f *Featurizer) Corpus(encoded [][]int) ([][]float64, error) {
+	out := make([][]float64, len(encoded))
+	for i, e := range encoded {
+		x, err := f.Session(e)
+		if err != nil {
+			return nil, fmt.Errorf("ocsvm: session %d: %w", i, err)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// PrefixStream incrementally featurizes a growing session, one action at a
+// time, for the online regime: Observe returns the feature vector of the
+// prefix seen so far without rebuilding it.
+type PrefixStream struct {
+	f     *Featurizer
+	x     []float64
+	count int
+}
+
+// Stream returns a new incremental featurizer.
+func (f *Featurizer) Stream() *PrefixStream {
+	return &PrefixStream{f: f, x: make([]float64, f.vocabSize)}
+}
+
+// Observe adds one action and returns the current prefix features. The
+// returned slice is reused between calls in counts mode and freshly
+// allocated in frequency mode; callers must not retain it.
+func (s *PrefixStream) Observe(action int) ([]float64, error) {
+	if action < 0 || action >= s.f.vocabSize {
+		return nil, fmt.Errorf("ocsvm: stream action %d outside vocab %d", action, s.f.vocabSize)
+	}
+	s.x[action]++
+	s.count++
+	if s.f.mode == FeatureFrequencies {
+		out := make([]float64, len(s.x))
+		inv := 1 / float64(s.count)
+		for i, v := range s.x {
+			out[i] = v * inv
+		}
+		return out, nil
+	}
+	return s.x, nil
+}

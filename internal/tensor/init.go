@@ -1,0 +1,31 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// XavierInit fills m with samples from U(-a, a) where a = sqrt(6/(fanIn+fanOut)),
+// the Glorot/Xavier uniform initializer used for the dense and recurrent
+// weight matrices of the language models.
+func XavierInit(m *Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	a := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2*a - a
+	}
+}
+
+// GaussianInit fills m with N(0, std²) samples.
+func GaussianInit(m *Matrix, std float64, rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// OrthogonalScaledInit fills m with scaled Gaussian noise whose standard
+// deviation is 1/sqrt(cols); a cheap, well-conditioned initializer for the
+// recurrent matrices where a full orthogonalization is unnecessary.
+func OrthogonalScaledInit(m *Matrix, rng *rand.Rand) {
+	std := 1 / math.Sqrt(float64(m.Cols))
+	GaussianInit(m, std, rng)
+}

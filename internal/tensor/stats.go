@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func Mean(v Vector) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for vectors with
+// fewer than two elements.
+func Variance(v Vector) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v Vector) float64 { return math.Sqrt(Variance(v)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of v using linear
+// interpolation between closest ranks. It returns an error for an empty
+// vector or out-of-range p.
+func Percentile(v Vector, p float64) (float64, error) {
+	if len(v) == 0 {
+		return 0, fmt.Errorf("tensor: percentile of empty vector")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("tensor: percentile %v out of range [0,100]", p)
+	}
+	sorted := v.Clone()
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram bins the values of v into bins equal-width buckets over
+// [min, max] and returns the per-bucket counts alongside the bucket edges
+// (len(edges) == bins+1). Values equal to max land in the last bucket.
+func Histogram(v Vector, bins int) (counts []int, edges []float64, err error) {
+	if bins <= 0 {
+		return nil, nil, fmt.Errorf("tensor: histogram needs bins > 0, got %d", bins)
+	}
+	if len(v) == 0 {
+		return nil, nil, fmt.Errorf("tensor: histogram of empty vector")
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + width*float64(i)
+	}
+	for _, x := range v {
+		// The ratio can be NaN or out of range when hi-lo overflows to
+		// +Inf for extreme inputs; clamp instead of trusting the cast.
+		r := (x - lo) / width
+		b := 0
+		if !math.IsNaN(r) && r > 0 {
+			b = int(math.Min(r, float64(bins-1)))
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}

@@ -1,0 +1,249 @@
+// Package tsne implements exact t-distributed Stochastic Neighbor
+// Embedding over a precomputed distance matrix. The paper's visual
+// interface uses t-SNE to project the ensemble's topics so experts can see
+// which topics are similar; topic counts are small (tens to low hundreds),
+// so the exact O(n²) algorithm is the right tool and no Barnes-Hut
+// approximation is needed.
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"misusedetect/internal/tensor"
+)
+
+// Config holds the t-SNE hyperparameters.
+type Config struct {
+	// Perplexity is the effective neighbor count; it must be smaller
+	// than the number of points.
+	Perplexity float64
+	// Iterations of gradient descent.
+	Iterations int
+	// LearningRate of the embedding updates.
+	LearningRate float64
+	// EarlyExaggeration multiplies affinities for the first quarter of
+	// the iterations to form tight clusters early.
+	EarlyExaggeration float64
+	// Seed makes the embedding deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns standard settings for small point sets.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Perplexity:        10,
+		Iterations:        500,
+		LearningRate:      10,
+		EarlyExaggeration: 4,
+		Seed:              seed,
+	}
+}
+
+// Point is a 2-D embedding coordinate.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Embed projects n points with the given symmetric n x n distance matrix
+// into 2-D.
+func Embed(dist *tensor.Matrix, cfg Config) ([]Point, error) {
+	n := dist.Rows
+	if dist.Cols != n {
+		return nil, fmt.Errorf("tsne: distance matrix must be square, got %dx%d", dist.Rows, dist.Cols)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		return []Point{{}}, nil
+	}
+	if cfg.Perplexity <= 0 {
+		return nil, fmt.Errorf("tsne: perplexity must be positive, got %v", cfg.Perplexity)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("tsne: iterations must be >= 1, got %d", cfg.Iterations)
+	}
+	if cfg.Perplexity >= float64(n) {
+		cfg.Perplexity = float64(n-1) / 3
+		if cfg.Perplexity < 1 {
+			cfg.Perplexity = 1
+		}
+	}
+
+	p := jointAffinities(dist, cfg.Perplexity)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := make([]Point, n)
+	for i := range y {
+		y[i] = Point{X: rng.NormFloat64() * 1e-2, Y: rng.NormFloat64() * 1e-2}
+	}
+
+	exaggerationEnd := cfg.Iterations / 4
+	p.Scale(cfg.EarlyExaggeration)
+
+	vel := make([]Point, n)
+	grad := make([]Point, n)
+	q := tensor.NewMatrix(n, n)
+	for it := 0; it < cfg.Iterations; it++ {
+		if it == exaggerationEnd && cfg.EarlyExaggeration > 0 {
+			p.Scale(1 / cfg.EarlyExaggeration)
+		}
+		// Student-t low-dimensional affinities.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i].X - y[j].X
+				dy := y[i].Y - y[j].Y
+				w := 1 / (1 + dx*dx + dy*dy)
+				q.Set(i, j, w)
+				q.Set(j, i, w)
+				qsum += 2 * w
+			}
+		}
+		if qsum == 0 {
+			qsum = 1e-12
+		}
+		// Gradient: 4 * sum_j (p_ij - q_ij) w_ij (y_i - y_j).
+		for i := range grad {
+			grad[i] = Point{}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				w := q.At(i, j)
+				mult := 4 * (p.At(i, j) - w/qsum) * w
+				dx := y[i].X - y[j].X
+				dy := y[i].Y - y[j].Y
+				grad[i].X += mult * dx
+				grad[i].Y += mult * dy
+			}
+		}
+		momentum := 0.5
+		if it >= exaggerationEnd {
+			momentum = 0.8
+		}
+		for i := range y {
+			vel[i].X = momentum*vel[i].X - cfg.LearningRate*grad[i].X
+			vel[i].Y = momentum*vel[i].Y - cfg.LearningRate*grad[i].Y
+			// Clip the per-iteration step so aggressive learning rates on
+			// tiny point sets cannot blow the embedding up.
+			step := math.Hypot(vel[i].X, vel[i].Y)
+			const maxStep = 5.0
+			if step > maxStep {
+				vel[i].X *= maxStep / step
+				vel[i].Y *= maxStep / step
+			}
+			y[i].X += vel[i].X
+			y[i].Y += vel[i].Y
+		}
+		centerPoints(y)
+	}
+	return y, nil
+}
+
+// jointAffinities converts distances into symmetric joint probabilities
+// p_ij with per-point bandwidths found by binary search on the target
+// perplexity.
+func jointAffinities(dist *tensor.Matrix, perplexity float64) *tensor.Matrix {
+	n := dist.Rows
+	target := math.Log(perplexity)
+	cond := tensor.NewMatrix(n, n)
+	row := tensor.NewVector(n)
+	lastValid := tensor.NewVector(n)
+	for i := 0; i < n; i++ {
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		haveValid := false
+		for step := 0; step < 64; step++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				d := dist.At(i, j)
+				row[j] = math.Exp(-beta * d * d)
+				sum += row[j]
+			}
+			var entropy float64
+			if sum > 0 {
+				// Tied distances can make the target perplexity
+				// unreachable; remember the last usable row so an
+				// underflowed final beta cannot zero the affinities.
+				copy(lastValid, row)
+				haveValid = true
+				for j := 0; j < n; j++ {
+					if j == i || row[j] == 0 {
+						continue
+					}
+					pj := row[j] / sum
+					entropy -= pj * math.Log(pj)
+				}
+			}
+			if sum > 0 && math.Abs(entropy-target) < 1e-5 {
+				break
+			}
+			if entropy > target {
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				if lo <= 1e-20 {
+					beta /= 2
+				} else {
+					beta = (beta + lo) / 2
+				}
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum == 0 && haveValid {
+			copy(row, lastValid)
+			sum = row.Sum()
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for j := 0; j < n; j++ {
+			cond.Set(i, j, row[j]/sum)
+		}
+	}
+	// Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+	p := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (cond.At(i, j) + cond.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 && i != j {
+				v = 1e-12
+			}
+			p.Set(i, j, v)
+		}
+	}
+	return p
+}
+
+// centerPoints removes the mean so the embedding does not drift.
+func centerPoints(y []Point) {
+	var cx, cy float64
+	for _, pt := range y {
+		cx += pt.X
+		cy += pt.Y
+	}
+	cx /= float64(len(y))
+	cy /= float64(len(y))
+	for i := range y {
+		y[i].X -= cx
+		y[i].Y -= cy
+	}
+}

@@ -1,0 +1,141 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"misusedetect/internal/tensor"
+)
+
+// clusteredDistances builds a distance matrix for two well-separated
+// groups of points: distance 0.1 within a group, 10 across groups.
+func clusteredDistances(groupSize int) *tensor.Matrix {
+	n := 2 * groupSize
+	d := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if (i < groupSize) == (j < groupSize) {
+				d.Set(i, j, 0.1)
+			} else {
+				d.Set(i, j, 10)
+			}
+		}
+	}
+	return d
+}
+
+func TestEmbedValidation(t *testing.T) {
+	d := tensor.NewMatrix(3, 2)
+	if _, err := Embed(d, DefaultConfig(1)); err == nil {
+		t.Fatal("non-square matrix must fail")
+	}
+	sq := tensor.NewMatrix(3, 3)
+	cfg := DefaultConfig(1)
+	cfg.Perplexity = 0
+	if _, err := Embed(sq, cfg); err == nil {
+		t.Fatal("zero perplexity must fail")
+	}
+	cfg = DefaultConfig(1)
+	cfg.Iterations = 0
+	if _, err := Embed(sq, cfg); err == nil {
+		t.Fatal("zero iterations must fail")
+	}
+}
+
+func TestEmbedDegenerateSizes(t *testing.T) {
+	pts, err := Embed(tensor.NewMatrix(0, 0), DefaultConfig(1))
+	if err != nil || pts != nil {
+		t.Fatalf("empty input: %v, %v", pts, err)
+	}
+	pts, err = Embed(tensor.NewMatrix(1, 1), DefaultConfig(1))
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("single point: %v, %v", pts, err)
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	d := clusteredDistances(6)
+	cfg := DefaultConfig(3)
+	cfg.Perplexity = 4
+	pts, err := Embed(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	within, across := avgDistances(pts, 6)
+	if across < 2*within {
+		t.Fatalf("clusters not separated: within=%.3f across=%.3f", within, across)
+	}
+	for _, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			t.Fatalf("non-finite embedding point %+v", p)
+		}
+	}
+}
+
+func avgDistances(pts []Point, groupSize int) (within, across float64) {
+	var nw, na int
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			dx := pts[i].X - pts[j].X
+			dy := pts[i].Y - pts[j].Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			if (i < groupSize) == (j < groupSize) {
+				within += d
+				nw++
+			} else {
+				across += d
+				na++
+			}
+		}
+	}
+	return within / float64(nw), across / float64(na)
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	d := clusteredDistances(4)
+	cfg := DefaultConfig(9)
+	cfg.Iterations = 100
+	a, err := Embed(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Embed(d, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical embeddings")
+		}
+	}
+}
+
+func TestEmbedCentered(t *testing.T) {
+	d := clusteredDistances(5)
+	pts, err := Embed(d, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	if math.Abs(cx) > 1e-6 || math.Abs(cy) > 1e-6 {
+		t.Fatalf("embedding not centered: (%v, %v)", cx, cy)
+	}
+}
+
+func TestEmbedClampsPerplexity(t *testing.T) {
+	// Perplexity larger than n must not error; it is clamped.
+	d := clusteredDistances(2)
+	cfg := DefaultConfig(4)
+	cfg.Perplexity = 100
+	cfg.Iterations = 50
+	if _, err := Embed(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
