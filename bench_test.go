@@ -1,10 +1,12 @@
 package misusedetect_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
 
+	"misusedetect/internal/actionlog"
 	"misusedetect/internal/core"
 	"misusedetect/internal/experiments"
 	"misusedetect/internal/logsim"
@@ -126,6 +128,72 @@ func BenchmarkOnlineMonitorThroughput(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkEngine measures end-to-end sharded-engine throughput: 8
+// producer goroutines submit a pre-flattened corpus event stream over
+// disjoint session sets, and the measured window closes only after every
+// event has been scored (Drain), so the metric is true scoring throughput,
+// not enqueue throughput. Future PRs regress against events/sec and
+// allocs/op here before touching the scoring path.
+func benchmarkEngine(b *testing.B, shards int) {
+	s := benchmarkSetup(b)
+	eng, err := core.NewEngine(s.Detector, core.EngineConfig{
+		Shards:     shards,
+		QueueDepth: 1024,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Disjoint per-feeder event streams, built outside the timed window.
+	const feeders = 8
+	streams := make([][]actionlog.Event, feeders)
+	for i := range s.Corpus.Sessions {
+		streams[i%feeders] = append(streams[i%feeders], actionlog.Flatten(s.Corpus.Sessions[i:i+1])...)
+	}
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		n := b.N / feeders
+		if f < b.N%feeders {
+			n++
+		}
+		if n == 0 || len(streams[f]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(f, n int) {
+			defer wg.Done()
+			stream := streams[f]
+			for k := 0; k < n; k++ {
+				if err := eng.Submit(ctx, stream[k%len(stream)], nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(f, n)
+	}
+	wg.Wait()
+	if err := eng.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineShards1 is the serial-equivalent engine baseline.
+func BenchmarkEngineShards1(b *testing.B) { benchmarkEngine(b, 1) }
+
+// BenchmarkEngineShards4 measures the default shard count.
+func BenchmarkEngineShards4(b *testing.B) { benchmarkEngine(b, 4) }
+
+// BenchmarkEngineShards8 measures scaling headroom past the default.
+func BenchmarkEngineShards8(b *testing.B) { benchmarkEngine(b, 8) }
 
 // BenchmarkExtensionAUC measures the detection-quality (ROC/AUC) sweep.
 func BenchmarkExtensionAUC(b *testing.B) { benchmarkFigure(b, "extension-auc") }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/core"
@@ -337,5 +340,53 @@ func cmdInspect(args []string) error {
 		fmt.Printf("  cluster %2d: %5d training sessions, %4d support vectors, lm vocab %d\n",
 			i, c.TrainSize, c.Router.SupportVectorCount(), c.LM.VocabSize())
 	}
+	return nil
+}
+
+// statusReply mirrors the misused daemon's status line.
+type statusReply struct {
+	Status core.EngineStats `json:"status"`
+	Uptime string           `json:"uptime"`
+}
+
+func cmdStatus(args []string) error {
+	fs := newFlagSet("status")
+	addr := fs.String("addr", "127.0.0.1:7074", "misused daemon address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial/read timeout")
+	jsonOut := fs.Bool("json", false, "print the raw status JSON line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		return fmt.Errorf("status: dial %s: %w", *addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+	if _, err := conn.Write([]byte("{\"cmd\":\"status\"}\n")); err != nil {
+		return fmt.Errorf("status: request: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("status: read reply: %w", err)
+	}
+	if *jsonOut {
+		fmt.Print(string(line))
+		return nil
+	}
+	var reply statusReply
+	if err := json.Unmarshal(line, &reply); err != nil {
+		return fmt.Errorf("status: parse reply %q: %w", line, err)
+	}
+	st := reply.Status
+	fmt.Printf("misused at %s (up %s)\n", *addr, reply.Uptime)
+	fmt.Printf("  shards:           %d\n", st.Shards)
+	fmt.Printf("  events submitted: %d\n", st.EventsSubmitted)
+	fmt.Printf("  events processed: %d\n", st.EventsProcessed)
+	fmt.Printf("  events in flight: %d\n", st.EventsInFlight)
+	fmt.Printf("  sessions live:    %d\n", st.SessionsLive)
+	fmt.Printf("  alarms raised:    %d\n", st.AlarmsRaised)
+	fmt.Printf("  evictions:        %d\n", st.Evictions)
+	fmt.Printf("  score errors:     %d\n", st.ScoreErrors)
 	return nil
 }

@@ -12,6 +12,7 @@
 //	misusectl monitor    -data events.jsonl -model ./model
 //	misusectl experiment -id fig5 [-scale test] [-seed 42]  (or -id all)
 //	misusectl inspect    -model ./model
+//	misusectl status     -addr 127.0.0.1:7074
 package main
 
 import (
@@ -47,6 +48,8 @@ func run(args []string) error {
 		return cmdExperiment(args[1:])
 	case "inspect":
 		return cmdInspect(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -66,7 +69,8 @@ subcommands:
   monitor     replay an event log through the online monitor
   viz         build the visual interface artifacts (t-SNE projection, topic-action matrix, chord diagram)
   experiment  regenerate a paper figure (fig3 fig4 fig5 fig6 fig7 fig8-9 fig10 fig11-12 top20 ablation-* extension-*) or 'all'
-  inspect     describe a saved model directory`)
+  inspect     describe a saved model directory
+  status      query a running misused daemon for its engine counters`)
 }
 
 func newFlagSet(name string) *flag.FlagSet {

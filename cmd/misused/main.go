@@ -11,7 +11,13 @@
 //
 // Usage:
 //
-//	misused -model ./model [-listen :7074] [-idle 30m]
+//	misused -model ./model [-listen :7074] [-idle 30m] [-shards 4] [-queue 256]
+//
+// Scoring runs on a sharded concurrent engine (see internal/core.Engine
+// and ARCHITECTURE.md): session IDs are hashed onto -shards independent
+// scoring goroutines fed through bounded queues of depth -queue.
+// Clients may send the control line {"cmd":"status"} to receive a JSON
+// snapshot of the engine counters (misusectl status wraps this).
 package main
 
 import (
@@ -32,16 +38,18 @@ func main() {
 	modelDir := fs.String("model", "./model", "trained model directory")
 	listen := fs.String("listen", "127.0.0.1:7074", "TCP listen address")
 	idle := fs.Duration("idle", 30*time.Minute, "session idle expiry")
+	shards := fs.Int("shards", 0, "scoring engine shard count (0 = default)")
+	queue := fs.Int("queue", 0, "per-shard event queue depth (0 = default)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(*modelDir, *listen, *idle); err != nil {
+	if err := run(*modelDir, *listen, *idle, *shards, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "misused:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelDir, listen string, idle time.Duration) error {
+func run(modelDir, listen string, idle time.Duration, shards, queue int) error {
 	det, err := core.LoadDetector(modelDir)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
@@ -49,6 +57,8 @@ func run(modelDir, listen string, idle time.Duration) error {
 	srv, err := NewServer(det, ServerConfig{
 		Listen:     listen,
 		IdleExpiry: idle,
+		Shards:     shards,
+		QueueDepth: queue,
 		Monitor:    core.DefaultMonitorConfig(),
 		Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
@@ -57,6 +67,7 @@ func run(modelDir, listen string, idle time.Duration) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("misused listening on %s (model %s, %d clusters)\n", srv.Addr(), modelDir, det.ClusterCount())
+	fmt.Printf("misused listening on %s (model %s, %d clusters, %d shards)\n",
+		srv.Addr(), modelDir, det.ClusterCount(), srv.Stats().Shards)
 	return srv.Serve(ctx)
 }

@@ -20,73 +20,84 @@ type ServerConfig struct {
 	// IdleExpiry evicts session monitors that have not seen an event
 	// for this long.
 	IdleExpiry time.Duration
+	// Shards is the scoring-engine shard count (0 = engine default).
+	Shards int
+	// QueueDepth is the per-shard event buffer (0 = engine default).
+	QueueDepth int
 	// Monitor is the per-session alarm configuration.
 	Monitor core.MonitorConfig
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
 
+// writeTimeout bounds every outbound write so a client that stops
+// reading cannot backpressure a shard indefinitely.
+const writeTimeout = 30 * time.Second
+
 // Alarm is the JSON line written back to clients when a session looks
-// suspicious.
-type Alarm struct {
-	Time       time.Time `json:"time"`
-	SessionID  string    `json:"session_id"`
-	User       string    `json:"user"`
-	Kind       string    `json:"kind"`
-	Position   int       `json:"position"`
-	Cluster    int       `json:"cluster"`
-	Likelihood float64   `json:"likelihood"`
+// suspicious; it is the engine's alarm record verbatim.
+type Alarm = core.Alarm
+
+// StatusReply is the JSON line written back for a status request: the
+// engine counters plus daemon identity.
+type StatusReply struct {
+	Status core.EngineStats `json:"status"`
+	Uptime string           `json:"uptime"`
 }
 
-// Server is the TCP ingestion daemon.
+// inboundLine is one decoded client line: control lines carry a "cmd"
+// field that events never have, so a single unmarshal serves both.
+type inboundLine struct {
+	Cmd string `json:"cmd"`
+	actionlog.Event
+}
+
+// Server is the TCP ingestion daemon: connections are thin decoders that
+// submit events to the sharded scoring engine and stream back the alarms
+// raised for the sessions they carry.
 type Server struct {
-	cfg ServerConfig
-	det *core.Detector
-	ln  net.Listener
-
-	mu       sync.Mutex
-	sessions map[string]*trackedSession
-	wg       sync.WaitGroup
+	cfg    ServerConfig
+	engine *core.Engine
+	ln     net.Listener
+	start  time.Time
+	wg     sync.WaitGroup
 }
 
-type trackedSession struct {
-	// mu serializes monitor access: two shippers may carry events for
-	// the same session.
-	mu       sync.Mutex
-	monitor  *core.SessionMonitor
-	lastSeen time.Time
-	user     string
-}
-
-// observe feeds one action to the session's monitor.
-func (t *trackedSession) observe(action string) (core.MonitorStep, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.monitor.ObserveAction(action)
-}
-
-// NewServer binds the listen address and prepares the daemon.
+// NewServer binds the listen address and starts the scoring engine.
 func NewServer(det *core.Detector, cfg ServerConfig) (*Server, error) {
 	if cfg.IdleExpiry <= 0 {
 		return nil, fmt.Errorf("misused: IdleExpiry must be positive, got %v", cfg.IdleExpiry)
 	}
+	engine, err := core.NewEngine(det, core.EngineConfig{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		IdleExpiry: cfg.IdleExpiry,
+		Monitor:    cfg.Monitor,
+		Logf:       cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("misused: start engine: %w", err)
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
+		engine.Close()
 		return nil, fmt.Errorf("misused: listen %s: %w", cfg.Listen, err)
 	}
-	return &Server{
-		cfg:      cfg,
-		det:      det,
-		ln:       ln,
-		sessions: make(map[string]*trackedSession),
-	}, nil
+	return &Server{cfg: cfg, engine: engine, ln: ln, start: time.Now()}, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Stats snapshots the scoring-engine counters.
+func (s *Server) Stats() core.EngineStats { return s.engine.Stats() }
+
+// SessionCount reports the number of live session monitors.
+func (s *Server) SessionCount() int { return int(s.engine.Stats().SessionsLive) }
+
 // Serve accepts connections until the context is canceled, then closes
-// the listener and waits for every connection handler to finish.
+// the listener, waits for every connection handler to finish, and drains
+// the engine.
 func (s *Server) Serve(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
@@ -94,27 +105,19 @@ func (s *Server) Serve(ctx context.Context) error {
 		<-ctx.Done()
 		s.ln.Close()
 	}()
-	sweeper := time.NewTicker(s.cfg.IdleExpiry / 2)
-	defer sweeper.Stop()
-	go func() {
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-sweeper.C:
-				s.expireIdle()
-			}
-		}
-	}()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			select {
 			case <-ctx.Done():
 				s.wg.Wait()
+				s.engine.Close()
 				<-done
 				return nil
 			default:
+				// Listener failure: return without closing the engine —
+				// live handlers may still be submitting and detaching,
+				// and the daemon exits on a Serve error anyway.
 				return fmt.Errorf("misused: accept: %w", err)
 			}
 		}
@@ -132,95 +135,103 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// handle processes one client connection: parse events, feed the matching
-// session monitor, write back alarms.
+// handle processes one client connection: decode events, submit them to
+// the engine, write back the alarms the engine raises for this
+// connection's sessions. One writer goroutine owns the outbound side so
+// alarm lines and status replies never interleave mid-line.
 func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
+	connDone := make(chan struct{})
+	defer close(connDone)
 	go func() {
-		// Unblock reads on shutdown.
-		<-ctx.Done()
-		conn.SetReadDeadline(time.Now())
+		// Unblock both reads and stuck writes on shutdown, so a client
+		// that stopped reading cannot wedge the writer (and through the
+		// sink, a shard) during drain. Exits with the connection so
+		// long-lived daemons don't park one goroutine per connection
+		// ever accepted.
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+		case <-connDone:
+		}
 	}()
+
+	alarms := make(chan Alarm, 64)
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(conn)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// After the first write failure or once shutdown begins, stop
+		// encoding and discard: retrying a dead connection would stall
+		// the drain up to writeTimeout per alarm, and the channel must
+		// keep draining so the engine is never blocked on this sink.
+		dead := false
+		for a := range alarms {
+			if dead || ctx.Err() != nil {
+				continue
+			}
+			writeMu.Lock()
+			// Bound every write: a client that stops reading gets its
+			// alarms dropped after the deadline instead of wedging this
+			// writer, the sink, and through it a whole shard (and every
+			// other connection hashed onto that shard).
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			err := enc.Encode(&a)
+			writeMu.Unlock()
+			if err != nil {
+				s.logf("write alarm to %s: %v", conn.RemoteAddr(), err)
+				dead = true
+			}
+		}
+	}()
+
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	enc := json.NewEncoder(conn)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var ev actionlog.Event
-		if err := json.Unmarshal(line, &ev); err != nil {
+		var in inboundLine
+		if err := json.Unmarshal(line, &in); err != nil {
 			s.logf("bad event from %s: %v", conn.RemoteAddr(), err)
 			continue
 		}
-		alarms, err := s.observe(ev)
-		if err != nil {
-			s.logf("session %s: %v", ev.SessionID, err)
+		if in.Cmd != "" {
+			s.handleCommand(in.Cmd, enc, &writeMu, conn)
 			continue
 		}
-		for _, a := range alarms {
-			if err := enc.Encode(&a); err != nil {
-				s.logf("write alarm to %s: %v", conn.RemoteAddr(), err)
-				return
-			}
+		if err := s.engine.Submit(ctx, in.Event, alarms); err != nil {
+			s.logf("session %s: %v", in.SessionID, err)
+			continue
 		}
 	}
+
+	// Reads are over: after Detach returns, every event this connection
+	// submitted has been scored and no shard will send here again, so
+	// closing the alarm channel is safe and flushes the writer.
+	s.engine.Detach(alarms)
+	close(alarms)
+	<-writerDone
 }
 
-// observe feeds one event to its session monitor and returns any alarms.
-func (s *Server) observe(ev actionlog.Event) ([]Alarm, error) {
-	if ev.SessionID == "" || ev.Action == "" {
-		return nil, fmt.Errorf("misused: event missing session_id or action")
-	}
-	s.mu.Lock()
-	tracked, ok := s.sessions[ev.SessionID]
-	if !ok {
-		mon, err := s.det.NewSessionMonitor(s.cfg.Monitor)
+// handleCommand answers a control line ({"cmd":"status"}).
+func (s *Server) handleCommand(cmd string, enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
+	switch cmd {
+	case "status":
+		reply := StatusReply{
+			Status: s.engine.Stats(),
+			Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+		}
+		writeMu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		err := enc.Encode(&reply)
+		writeMu.Unlock()
 		if err != nil {
-			s.mu.Unlock()
-			return nil, err
+			s.logf("write status to %s: %v", conn.RemoteAddr(), err)
 		}
-		tracked = &trackedSession{monitor: mon, user: ev.User}
-		s.sessions[ev.SessionID] = tracked
+	default:
+		s.logf("unknown command %q from %s", cmd, conn.RemoteAddr())
 	}
-	tracked.lastSeen = time.Now()
-	s.mu.Unlock()
-
-	stepResult, err := tracked.observe(ev.Action)
-	if err != nil {
-		return nil, err
-	}
-	var alarms []Alarm
-	for _, kind := range stepResult.Alarms {
-		alarms = append(alarms, Alarm{
-			Time:       ev.Time,
-			SessionID:  ev.SessionID,
-			User:       ev.User,
-			Kind:       kind.String(),
-			Position:   stepResult.Position,
-			Cluster:    stepResult.Cluster,
-			Likelihood: stepResult.Smoothed,
-		})
-	}
-	return alarms, nil
-}
-
-// expireIdle drops sessions that have been quiet past the expiry.
-func (s *Server) expireIdle() {
-	cutoff := time.Now().Add(-s.cfg.IdleExpiry)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id, t := range s.sessions {
-		if t.lastSeen.Before(cutoff) {
-			delete(s.sessions, id)
-		}
-	}
-}
-
-// SessionCount reports the number of live session monitors.
-func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
 }

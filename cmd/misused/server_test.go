@@ -50,6 +50,26 @@ func tinyDetector(t *testing.T) (*core.Detector, []*actionlog.Session) {
 	return det, sessions
 }
 
+// startServer runs srv.Serve in the background and returns a shutdown
+// func that asserts a clean exit.
+func startServer(t *testing.T, srv *Server) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Serve returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
 func TestServerConfigValidation(t *testing.T) {
 	det, _ := tinyDetector(t)
 	if _, err := NewServer(det, ServerConfig{Listen: "127.0.0.1:0", IdleExpiry: 0}); err == nil {
@@ -58,6 +78,9 @@ func TestServerConfigValidation(t *testing.T) {
 	if _, err := NewServer(det, ServerConfig{Listen: "256.0.0.1:bad", IdleExpiry: time.Minute}); err == nil {
 		t.Fatal("bad listen address must fail")
 	}
+	if _, err := NewServer(det, ServerConfig{Listen: "127.0.0.1:0", IdleExpiry: time.Minute, Shards: -3}); err == nil {
+		t.Fatal("negative shard count must fail")
+	}
 }
 
 func TestServerDetectsAnomalousStream(t *testing.T) {
@@ -65,14 +88,14 @@ func TestServerDetectsAnomalousStream(t *testing.T) {
 	srv, err := NewServer(det, ServerConfig{
 		Listen:     "127.0.0.1:0",
 		IdleExpiry: time.Minute,
+		Shards:     3,
 		Monitor:    core.DefaultMonitorConfig(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(ctx) }()
+	shutdown := startServer(t, srv)
+	defer shutdown()
 
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
@@ -124,18 +147,14 @@ func TestServerDetectsAnomalousStream(t *testing.T) {
 	if !foundBad {
 		t.Fatal("no alarm received for the anomalous session")
 	}
-	if n := srv.SessionCount(); n != 2 {
-		t.Fatalf("server tracks %d sessions, want 2", n)
-	}
-
-	cancel()
-	select {
-	case err := <-serveDone:
-		if err != nil {
-			t.Fatalf("Serve returned %v", err)
+	// Both sessions live in the engine once their events are scored; the
+	// normal session's shard may still be draining, so poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server tracks %d sessions, want 2", srv.SessionCount())
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("server did not shut down")
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -149,10 +168,8 @@ func TestServerIgnoresMalformedEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ctx) }()
+	shutdown := startServer(t, srv)
+	defer shutdown()
 
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
@@ -175,33 +192,94 @@ func TestServerIgnoresMalformedEvents(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	cancel()
-	<-done
 }
 
-func TestExpireIdle(t *testing.T) {
+func TestServerExpiresIdleSessions(t *testing.T) {
 	det, _ := tinyDetector(t)
 	srv, err := NewServer(det, ServerConfig{
 		Listen:     "127.0.0.1:0",
-		IdleExpiry: 10 * time.Millisecond,
+		IdleExpiry: 20 * time.Millisecond,
 		Monitor:    core.DefaultMonitorConfig(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.ln.Close()
-	if _, err := srv.observe(actionlog.Event{SessionID: "s", Action: "a0", User: "u"}); err != nil {
+	shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
 		t.Fatal(err)
 	}
-	if srv.SessionCount() != 1 {
-		t.Fatal("session not tracked")
+	defer conn.Close()
+	ev := actionlog.Event{Time: time.Now(), User: "u", SessionID: "idle-1", Action: "a0"}
+	data, _ := json.Marshal(&ev)
+	if _, err := conn.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
-	srv.expireIdle()
-	if srv.SessionCount() != 0 {
-		t.Fatal("idle session not expired")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never tracked")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := srv.observe(actionlog.Event{SessionID: "", Action: "a0"}); err == nil {
-		t.Fatal("missing session_id must fail")
+	for {
+		st := srv.Stats()
+		if st.SessionsLive == 0 && st.Evictions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session not evicted: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+func TestServerStatusCommand(t *testing.T) {
+	det, _ := tinyDetector(t)
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		IdleExpiry: time.Minute,
+		Shards:     2,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ev := actionlog.Event{Time: time.Now(), User: "u", SessionID: "s1", Action: "a0"}
+	data, _ := json.Marshal(&ev)
+	if _, err := conn.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("{\"cmd\":\"status\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		var reply StatusReply
+		if err := json.Unmarshal(sc.Bytes(), &reply); err != nil || reply.Status.Shards == 0 {
+			continue // an alarm line, not the status reply
+		}
+		if reply.Status.Shards != 2 {
+			t.Fatalf("status shards = %d, want 2", reply.Status.Shards)
+		}
+		if reply.Status.EventsSubmitted < 1 {
+			t.Fatalf("status events_submitted = %d, want >= 1", reply.Status.EventsSubmitted)
+		}
+		if reply.Uptime == "" {
+			t.Fatal("status reply has no uptime")
+		}
+		return
+	}
+	t.Fatalf("no status reply received: %v", sc.Err())
 }

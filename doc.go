@@ -12,15 +12,28 @@
 // normality scoring. New sessions are routed to the best-matching
 // cluster and scored action by action in real time.
 //
+// The online path runs on a sharded concurrent scoring engine
+// (internal/core.Engine): session IDs are hashed onto N shards, each
+// with its own goroutine, session map, and idle-eviction clock, fed
+// through bounded channels with explicit backpressure. Scoring reuses
+// preallocated tensor scratch buffers, so the steady state allocates
+// nothing per action, and a determinism mode makes a sharded replay
+// byte-identical to the serial monitor. internal/corpus embeds a fixed
+// labeled evaluation corpus the race-enabled test suite replays against
+// both paths. See ARCHITECTURE.md for the design.
+//
 // Entry points:
 //
 //   - internal/core: the full pipeline (training, scoring, online
-//     monitoring, model persistence)
+//     monitoring, the sharded engine, model persistence)
+//   - internal/corpus: the embedded labeled evaluation corpus
 //   - internal/experiments: regenerates every figure of the paper
-//   - cmd/misusectl: command-line interface
+//   - cmd/misusectl: command-line interface (including `status` against
+//     a running daemon)
 //   - cmd/misused: TCP log-ingestion monitoring daemon
 //   - examples/: runnable walkthroughs
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// See DESIGN.md for the system inventory, ARCHITECTURE.md for the
+// concurrent scoring engine, and EXPERIMENTS.md for paper-versus-measured
+// results.
 package misusedetect

@@ -1,0 +1,3 @@
+module misusedetect
+
+go 1.24

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"misusedetect/internal/actionlog"
+)
+
+// Alarm is one engine output record: a session looked suspicious at a
+// position. The JSON encoding is the wire format of the misused daemon.
+type Alarm struct {
+	// Seq is the global submission sequence number of the event that
+	// raised the alarm; determinism mode orders the alarm stream by it.
+	// It is engine-internal and excluded from the wire format.
+	Seq        uint64    `json:"-"`
+	Time       time.Time `json:"time"`
+	SessionID  string    `json:"session_id"`
+	User       string    `json:"user"`
+	Kind       string    `json:"kind"`
+	Position   int       `json:"position"`
+	Cluster    int       `json:"cluster"`
+	Likelihood float64   `json:"likelihood"`
+}
+
+// EngineConfig tunes the sharded scoring engine.
+type EngineConfig struct {
+	// Shards is the number of independent scoring shards; session IDs are
+	// hashed onto them. Defaults to 4.
+	Shards int
+	// QueueDepth is the per-shard event buffer. A full queue blocks
+	// Submit: backpressure propagates to the producer instead of growing
+	// memory without bound. Defaults to 256.
+	QueueDepth int
+	// IdleExpiry evicts sessions that have not seen an event for this
+	// long; 0 disables eviction (replay and tests).
+	IdleExpiry time.Duration
+	// Monitor is the per-session alarm configuration.
+	Monitor MonitorConfig
+	// Deterministic switches alarm delivery from streaming sinks to an
+	// internal buffer that DrainAlarms returns in global submission
+	// order, making a sharded replay byte-identical to the serial path.
+	Deterministic bool
+	// Logf receives operational log lines (scoring errors); nil silences.
+	Logf func(format string, args ...any)
+}
+
+// DefaultEngineConfig returns production-leaning engine settings.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Shards:     4,
+		QueueDepth: 256,
+		IdleExpiry: 30 * time.Minute,
+		Monitor:    DefaultMonitorConfig(),
+	}
+}
+
+func (c *EngineConfig) setDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+}
+
+func (c *EngineConfig) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("core: engine Shards must be >= 1, got %d", c.Shards)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("core: engine QueueDepth must be >= 1, got %d", c.QueueDepth)
+	}
+	if c.IdleExpiry < 0 {
+		return fmt.Errorf("core: engine IdleExpiry must be >= 0, got %v", c.IdleExpiry)
+	}
+	return c.Monitor.validate()
+}
+
+// EngineStats is a point-in-time snapshot of the engine counters.
+type EngineStats struct {
+	Shards          int    `json:"shards"`
+	EventsSubmitted uint64 `json:"events_submitted"`
+	EventsProcessed uint64 `json:"events_processed"`
+	EventsInFlight  uint64 `json:"events_in_flight"`
+	SessionsLive    uint64 `json:"sessions_live"`
+	AlarmsRaised    uint64 `json:"alarms_raised"`
+	Evictions       uint64 `json:"evictions"`
+	ScoreErrors     uint64 `json:"score_errors"`
+}
+
+// shardMsg is one unit of shard work: an event to score, or (when detach
+// is non-nil) a control message asking the shard to forget a sink.
+type shardMsg struct {
+	seq    uint64
+	ev     actionlog.Event
+	sink   chan<- Alarm
+	detach chan<- Alarm
+	ack    chan<- struct{}
+}
+
+// engineSession is one live session owned by exactly one shard goroutine.
+type engineSession struct {
+	mon      *SessionMonitor
+	sink     chan<- Alarm
+	lastSeen time.Time
+}
+
+// engineShard owns a partition of the session space: its goroutine is the
+// only one touching its map, so scoring needs no locks at all.
+type engineShard struct {
+	e        *Engine
+	in       chan shardMsg
+	sessions map[string]*engineSession
+}
+
+// Engine is the sharded concurrent scoring path: N shards, each with its
+// own goroutine, session map, and idle-eviction clock, fed through bounded
+// channels. It is the concurrent superstructure over SessionMonitor that
+// the single-goroutine-per-connection seed server lacked.
+//
+// Ordering guarantees: events of one session are scored in submission
+// order (one session maps to one shard, and a shard consumes its queue
+// FIFO). Across sessions there is no ordering in streaming mode; in
+// deterministic mode DrainAlarms restores global submission order.
+type Engine struct {
+	det    *Detector
+	cfg    EngineConfig
+	shards []*engineShard
+	wg     sync.WaitGroup
+
+	// mu guards closed against Submit/Close races: Submit holds the read
+	// lock across its channel send, Close flips closed under the write
+	// lock, so no send can land on a closed channel.
+	mu     sync.RWMutex
+	closed bool
+
+	seq         atomic.Uint64
+	submitted   atomic.Uint64
+	processed   atomic.Uint64
+	sessions    atomic.Int64
+	alarms      atomic.Uint64
+	evictions   atomic.Uint64
+	scoreErrors atomic.Uint64
+
+	// detMu guards detAlarms, the deterministic-mode alarm buffer.
+	detMu     sync.Mutex
+	detAlarms []Alarm
+}
+
+// NewEngine starts the shard goroutines over a trained detector.
+func NewEngine(det *Detector, cfg EngineConfig) (*Engine, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{det: det, cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &engineShard{
+			e:        e,
+			in:       make(chan shardMsg, cfg.QueueDepth),
+			sessions: make(map[string]*engineSession),
+		}
+		e.shards = append(e.shards, sh)
+		e.wg.Add(1)
+		go sh.run()
+	}
+	return e, nil
+}
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// shardFor hashes a session ID onto its owning shard: inline FNV-1a so
+// the hot Submit path allocates nothing.
+func (e *Engine) shardFor(sessionID string) *engineShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(sessionID); i++ {
+		h ^= uint32(sessionID[i])
+		h *= 16777619
+	}
+	return e.shards[int(h)%len(e.shards)]
+}
+
+// Submit routes one event to its session's shard. It blocks when the
+// shard's queue is full (bounded-channel backpressure) until the queue
+// drains, the context is canceled, or the engine is closed. In streaming
+// mode alarms raised by the event are sent to sink (a nil sink counts
+// alarms without delivering them); the session's sink is updated on every
+// event, so the latest submitting connection receives the alarms.
+//
+// Sink contract: alarm sends block, so the caller must keep draining a
+// non-nil sink until Detach(sink) has returned — abandoning it can stall
+// the session's shard and everything queued behind it.
+func (e *Engine) Submit(ctx context.Context, ev actionlog.Event, sink chan<- Alarm) error {
+	if ev.SessionID == "" || ev.Action == "" {
+		return fmt.Errorf("core: engine: event missing session_id or action")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("core: engine: closed")
+	}
+	msg := shardMsg{seq: e.seq.Add(1), ev: ev, sink: sink}
+	select {
+	case e.shardFor(ev.SessionID).in <- msg:
+		e.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Detach tells every shard to forget the given sink and blocks until all
+// shards have acknowledged. Because each shard consumes its queue FIFO,
+// every event submitted with that sink before the Detach has been scored
+// by the time Detach returns: afterwards the engine never sends to the
+// sink again and the caller may close it. The caller must keep draining
+// the sink until Detach returns — a shard blocked sending to an
+// abandoned sink can never reach the detach control message.
+func (e *Engine) Detach(sink chan<- Alarm) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		// Closing: the shard queues may already be closed, so the
+		// control message cannot be enqueued. Wait for the shards to
+		// finish draining instead — afterwards nothing can send to the
+		// sink either, which preserves Detach's contract.
+		e.wg.Wait()
+		return
+	}
+	ack := make(chan struct{}, len(e.shards))
+	for _, sh := range e.shards {
+		sh.in <- shardMsg{detach: sink, ack: ack}
+	}
+	e.mu.RUnlock()
+	for range e.shards {
+		<-ack
+	}
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	// Read processed before submitted: processed never exceeds submitted
+	// at any instant, so this order keeps the in-flight difference from
+	// underflowing when events land between the two loads.
+	processed := e.processed.Load()
+	submitted := e.submitted.Load()
+	if submitted < processed {
+		submitted = processed
+	}
+	live := e.sessions.Load()
+	if live < 0 {
+		live = 0
+	}
+	return EngineStats{
+		Shards:          len(e.shards),
+		EventsSubmitted: submitted,
+		EventsProcessed: processed,
+		EventsInFlight:  submitted - processed,
+		SessionsLive:    uint64(live),
+		AlarmsRaised:    e.alarms.Load(),
+		Evictions:       e.evictions.Load(),
+		ScoreErrors:     e.scoreErrors.Load(),
+	}
+}
+
+// Drain blocks until every submitted event has been scored. The caller
+// must have stopped submitting; Drain does not prevent new submissions.
+func (e *Engine) Drain(ctx context.Context) error {
+	for e.processed.Load() < e.submitted.Load() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// DrainAlarms waits for the queues to empty and returns the buffered
+// deterministic-mode alarms in global submission order, clearing the
+// buffer. Stable sorting keeps the emission order of multiple alarms from
+// one event.
+func (e *Engine) DrainAlarms(ctx context.Context) ([]Alarm, error) {
+	if !e.cfg.Deterministic {
+		return nil, fmt.Errorf("core: engine: DrainAlarms requires Deterministic mode")
+	}
+	if err := e.Drain(ctx); err != nil {
+		return nil, err
+	}
+	e.detMu.Lock()
+	out := e.detAlarms
+	e.detAlarms = nil
+	e.detMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Replay pushes a whole event stream through the sharded engine and
+// returns the alarms in submission order: the deterministic batch mode.
+func (e *Engine) Replay(ctx context.Context, events []actionlog.Event) ([]Alarm, error) {
+	for _, ev := range events {
+		if err := e.Submit(ctx, ev, nil); err != nil {
+			return nil, err
+		}
+	}
+	return e.DrainAlarms(ctx)
+}
+
+// Close drains and stops the engine: new submissions fail immediately,
+// queued events are scored, shard goroutines exit. Safe to call twice.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		close(sh.in)
+	}
+	e.wg.Wait()
+}
+
+// run is the shard loop: score queued events, evict idle sessions.
+func (s *engineShard) run() {
+	defer s.e.wg.Done()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if s.e.cfg.IdleExpiry > 0 {
+		ticker = time.NewTicker(s.e.cfg.IdleExpiry / 2)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case msg, ok := <-s.in:
+			if !ok {
+				return
+			}
+			if msg.detach != nil {
+				for _, sess := range s.sessions {
+					if sess.sink == msg.detach {
+						sess.sink = nil
+					}
+				}
+				msg.ack <- struct{}{}
+				continue
+			}
+			s.process(msg)
+		case <-tick:
+			s.evictIdle(time.Now())
+		}
+	}
+}
+
+// process scores one event against its session monitor and routes any
+// alarms. Runs only on the shard goroutine: the session map and the
+// monitors (with their preallocated scratch buffers) are shard-local.
+func (s *engineShard) process(msg shardMsg) {
+	defer s.e.processed.Add(1)
+	sess, ok := s.sessions[msg.ev.SessionID]
+	if !ok {
+		mon, err := s.e.det.NewSessionMonitor(s.e.cfg.Monitor)
+		if err != nil {
+			// Config was validated at NewEngine; failing here means the
+			// detector itself is unusable.
+			s.e.scoreErrors.Add(1)
+			s.e.logf("session %s: %v", msg.ev.SessionID, err)
+			return
+		}
+		sess = &engineSession{mon: mon}
+		s.sessions[msg.ev.SessionID] = sess
+		s.e.sessions.Add(1)
+	}
+	sess.sink = msg.sink
+	sess.lastSeen = time.Now()
+	step, err := sess.mon.ObserveAction(msg.ev.Action)
+	if err != nil {
+		s.e.scoreErrors.Add(1)
+		s.e.logf("session %s: %v", msg.ev.SessionID, err)
+		return
+	}
+	for _, kind := range step.Alarms {
+		a := Alarm{
+			Seq:        msg.seq,
+			Time:       msg.ev.Time,
+			SessionID:  msg.ev.SessionID,
+			User:       msg.ev.User,
+			Kind:       kind.String(),
+			Position:   step.Position,
+			Cluster:    step.Cluster,
+			Likelihood: step.Smoothed,
+		}
+		s.e.alarms.Add(1)
+		if s.e.cfg.Deterministic {
+			s.e.detMu.Lock()
+			s.e.detAlarms = append(s.e.detAlarms, a)
+			s.e.detMu.Unlock()
+		} else if sess.sink != nil {
+			// Blocking send: a slow alarm consumer backpressures the
+			// shard (and through the bounded queue, the producers)
+			// rather than dropping alarms.
+			sess.sink <- a
+		}
+	}
+}
+
+// evictIdle drops sessions quiet past the expiry.
+func (s *engineShard) evictIdle(now time.Time) {
+	cutoff := now.Add(-s.e.cfg.IdleExpiry)
+	for id, sess := range s.sessions {
+		if sess.lastSeen.Before(cutoff) {
+			delete(s.sessions, id)
+			s.e.sessions.Add(-1)
+			s.e.evictions.Add(1)
+		}
+	}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// ReplaySerial scores an event stream on the calling goroutine with one
+// SessionMonitor per session, in strict stream order: the reference the
+// engine's determinism mode is byte-identical to. Events with unknown
+// actions are skipped, mirroring the engine's scoring-error handling.
+func (d *Detector) ReplaySerial(mcfg MonitorConfig, events []actionlog.Event) ([]Alarm, error) {
+	monitors := make(map[string]*SessionMonitor)
+	var out []Alarm
+	var seq uint64
+	for _, ev := range events {
+		if ev.SessionID == "" || ev.Action == "" {
+			return nil, fmt.Errorf("core: serial replay: event missing session_id or action")
+		}
+		seq++
+		mon, ok := monitors[ev.SessionID]
+		if !ok {
+			var err error
+			mon, err = d.NewSessionMonitor(mcfg)
+			if err != nil {
+				return nil, err
+			}
+			monitors[ev.SessionID] = mon
+		}
+		step, err := mon.ObserveAction(ev.Action)
+		if err != nil {
+			continue
+		}
+		for _, kind := range step.Alarms {
+			out = append(out, Alarm{
+				Seq:        seq,
+				Time:       ev.Time,
+				SessionID:  ev.SessionID,
+				User:       ev.User,
+				Kind:       kind.String(),
+				Position:   step.Position,
+				Cluster:    step.Cluster,
+				Likelihood: step.Smoothed,
+			})
+		}
+	}
+	return out, nil
+}

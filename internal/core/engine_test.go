@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/corpus"
+	"misusedetect/internal/logsim"
+)
+
+// corpusDetector trains one small 13-cluster detector on the embedded
+// corpus's normal sessions, shared across engine tests (training under
+// -race is the expensive part).
+var (
+	corpusDetOnce sync.Once
+	corpusDet     *Detector
+	corpusDetErr  error
+)
+
+func corpusDetector(t testing.TB) *Detector {
+	t.Helper()
+	corpusDetOnce.Do(func() {
+		c, err := corpus.Load()
+		if err != nil {
+			corpusDetErr = err
+			return
+		}
+		vocab, err := actionlog.NewVocabulary(logsim.ActionNames())
+		if err != nil {
+			corpusDetErr = err
+			return
+		}
+		cfg := ScaledConfig(vocab.Size(), 13, 8, 2, 11)
+		cfg.LM.Trainer.LearningRate = 0.01
+		cfg.LM.Network.DropoutRate = 0
+		corpusDet, corpusDetErr = TrainDetector(cfg, vocab, c.ByCluster(), nil)
+	})
+	if corpusDetErr != nil {
+		t.Fatalf("train corpus detector: %v", corpusDetErr)
+	}
+	return corpusDet
+}
+
+// TestEngineDeterminismMatchesSerial is the tentpole's core guarantee: the
+// sharded engine's alarm stream over the embedded corpus is byte-identical
+// to the serial monitor's, for any shard count.
+func TestEngineDeterminismMatchesSerial(t *testing.T) {
+	det := corpusDetector(t)
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := c.Events()
+	mcfg := DefaultMonitorConfig()
+
+	serial, err := det.ReplaySerial(mcfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("serial replay raised no alarms; the determinism comparison would be vacuous")
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, shards := range []int{1, 3, 8} {
+		eng, err := NewEngine(det, EngineConfig{
+			Shards:        shards,
+			QueueDepth:    64,
+			Monitor:       mcfg,
+			Deterministic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Replay(ctx, events)
+		eng.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(want) {
+			t.Fatalf("shards=%d: alarm stream diverges from serial path\nserial: %d alarms\nengine: %d alarms",
+				shards, len(serial), len(got))
+		}
+	}
+}
+
+// TestEngineAlarmsFlagAnomalies sanity-checks the labels: corpus anomalies
+// dominate the alarm stream and normal traffic stays mostly quiet.
+func TestEngineAlarmsFlagAnomalies(t *testing.T) {
+	det := corpusDetector(t)
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(det, EngineConfig{Shards: 4, Monitor: DefaultMonitorConfig(), Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	alarms, err := eng.Replay(context.Background(), c.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalous := make(map[string]bool)
+	for _, s := range c.Anomalies() {
+		anomalous[s.ID] = true
+	}
+	flagged := make(map[string]bool)
+	for _, a := range alarms {
+		flagged[a.SessionID] = true
+	}
+	hit := 0
+	for id := range flagged {
+		if anomalous[id] {
+			hit++
+		}
+	}
+	if hit*2 < len(anomalous) {
+		t.Fatalf("only %d/%d anomalous corpus sessions raised alarms", hit, len(anomalous))
+	}
+}
+
+// TestEngineStatsAndEviction checks the engine counters and the per-shard
+// idle-eviction clock.
+func TestEngineStatsAndEviction(t *testing.T) {
+	det := corpusDetector(t)
+	// IdleExpiry must comfortably exceed the submit+drain phase (which
+	// is slow under -race), or sessions get evicted before the
+	// live-session assertion.
+	eng, err := NewEngine(det, EngineConfig{
+		Shards:     2,
+		IdleExpiry: 500 * time.Millisecond,
+		Monitor:    DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	names := det.Vocabulary().Actions()
+	sessions := []string{"s-a", "s-b", "s-c", "s-d", "s-e"}
+	n := 0
+	for _, id := range sessions {
+		for i := 0; i < 4; i++ {
+			ev := actionlog.Event{SessionID: id, User: "u", Action: names[i], Time: time.Now()}
+			if err := eng.Submit(ctx, ev, nil); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.EventsSubmitted != uint64(n) || st.EventsProcessed != uint64(n) {
+		t.Fatalf("submitted/processed = %d/%d, want %d/%d", st.EventsSubmitted, st.EventsProcessed, n, n)
+	}
+	if st.EventsInFlight != 0 {
+		t.Fatalf("in-flight = %d after drain", st.EventsInFlight)
+	}
+	if st.SessionsLive != uint64(len(sessions)) {
+		t.Fatalf("sessions live = %d, want %d", st.SessionsLive, len(sessions))
+	}
+	if st.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", st.Shards)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = eng.Stats()
+		if st.SessionsLive == 0 && st.Evictions == uint64(len(sessions)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle sessions not evicted: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEngineStreamingSink checks alarm delivery to a subscriber channel
+// and that Detach stops delivery so the channel can be closed.
+func TestEngineStreamingSink(t *testing.T) {
+	det := corpusDetector(t)
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(det, EngineConfig{Shards: 3, Monitor: DefaultMonitorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	sink := make(chan Alarm, 1024)
+	var got []Alarm
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for a := range sink {
+			got = append(got, a)
+		}
+	}()
+	ctx := context.Background()
+	for _, ev := range c.Events() {
+		if err := eng.Submit(ctx, ev, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Detach(sink)
+	close(sink)
+	<-recvDone
+	if len(got) == 0 {
+		t.Fatal("no alarms delivered to the streaming sink")
+	}
+	if st := eng.Stats(); st.AlarmsRaised != uint64(len(got)) {
+		t.Fatalf("AlarmsRaised = %d, sink received %d", st.AlarmsRaised, len(got))
+	}
+}
+
+// TestEngineConcurrentSubmitters drives the engine from many goroutines
+// with disjoint session sets under -race.
+func TestEngineConcurrentSubmitters(t *testing.T) {
+	det := corpusDetector(t)
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(det, EngineConfig{Shards: 4, QueueDepth: 16, Monitor: DefaultMonitorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	sessions := c.ActionSessions()
+	const feeders = 8
+	var wg sync.WaitGroup
+	var submitted atomic.Uint64
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := f; i < len(sessions); i += feeders {
+				for _, ev := range actionlog.Flatten(sessions[i : i+1]) {
+					if err := eng.Submit(ctx, ev, nil); err != nil {
+						t.Error(err)
+						return
+					}
+					submitted.Add(1)
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.EventsProcessed != submitted.Load() {
+		t.Fatalf("processed %d of %d submitted events", st.EventsProcessed, submitted.Load())
+	}
+	if st.ScoreErrors != 0 {
+		t.Fatalf("%d score errors on corpus traffic", st.ScoreErrors)
+	}
+}
+
+// TestEngineValidationAndClose covers the error paths.
+func TestEngineValidationAndClose(t *testing.T) {
+	det := corpusDetector(t)
+	if _, err := NewEngine(det, EngineConfig{Shards: -1}); err == nil {
+		t.Fatal("negative shard count must fail")
+	}
+	if _, err := NewEngine(det, EngineConfig{QueueDepth: -1}); err == nil {
+		t.Fatal("negative queue depth must fail")
+	}
+	if _, err := NewEngine(det, EngineConfig{Monitor: MonitorConfig{EWMAAlpha: 2}}); err == nil {
+		t.Fatal("invalid monitor config must fail")
+	}
+
+	eng, err := NewEngine(det, EngineConfig{Monitor: DefaultMonitorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := eng.Submit(ctx, actionlog.Event{SessionID: "s"}, nil); err == nil {
+		t.Fatal("event without action must fail")
+	}
+	if err := eng.Submit(ctx, actionlog.Event{Action: "a"}, nil); err == nil {
+		t.Fatal("event without session_id must fail")
+	}
+	if _, err := eng.DrainAlarms(ctx); err == nil {
+		t.Fatal("DrainAlarms outside deterministic mode must fail")
+	}
+	// Unknown actions are counted, not fatal.
+	if err := eng.Submit(ctx, actionlog.Event{SessionID: "s", Action: "no-such-action"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.ScoreErrors != 1 {
+		t.Fatalf("ScoreErrors = %d, want 1", st.ScoreErrors)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if err := eng.Submit(ctx, actionlog.Event{SessionID: "s", Action: "a"}, nil); err == nil {
+		t.Fatal("submit after close must fail")
+	}
+	eng.Detach(nil) // no-op after close, must not hang
+}

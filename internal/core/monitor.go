@@ -128,7 +128,11 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 		smoothed: -1,
 	}
 	for i := range d.clusters {
-		m.streams = append(m.streams, d.clusters[i].LM.Stream())
+		// Preallocated streams: probs[i] aliases stream i's scratch
+		// buffer, which is safe because Observe reads the stored
+		// prediction for an action before advancing the stream that
+		// overwrites it.
+		m.streams = append(m.streams, d.clusters[i].LM.StreamPrealloc())
 	}
 	return m, nil
 }

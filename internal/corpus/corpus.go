@@ -1,0 +1,152 @@
+// Package corpus embeds a fixed, labeled evaluation corpus: ~100 sessions
+// spanning every logsim behavior profile plus every anomaly kind (random
+// sessions and all scripted misuse scenarios), each carrying ground-truth
+// labels. It is the determinism anchor of the test suite: randomized
+// logsim runs exercise breadth, while this corpus pins down exact expected
+// behavior so refactors of the scoring path (such as the sharded engine)
+// can be checked byte for byte against it.
+//
+// corpus.json is generated once by internal/corpus/gen and committed; it
+// must never be regenerated silently, because tests compare engine output
+// across implementations on these exact sessions.
+package corpus
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"misusedetect/internal/actionlog"
+)
+
+//go:embed corpus.json
+var raw []byte
+
+// Session kinds.
+const (
+	// KindProfile marks a normal session generated from one logsim
+	// behavior profile.
+	KindProfile = "profile"
+	// KindRandom marks a uniformly random session (the paper's
+	// artificial abnormal test set).
+	KindRandom = "random"
+	// KindMassDeletion, KindAccountFactory, and KindCredentialSweep mark
+	// the scripted misuse scenarios (logsim.MisuseScenario names).
+	KindMassDeletion    = "mass-deletion"
+	KindAccountFactory  = "account-factory"
+	KindCredentialSweep = "credential-sweep"
+)
+
+// AnomalyKinds lists every anomalous session kind the corpus must cover.
+func AnomalyKinds() []string {
+	return []string{KindRandom, KindMassDeletion, KindAccountFactory, KindCredentialSweep}
+}
+
+// Session is one labeled corpus session.
+type Session struct {
+	// ID is unique within the corpus.
+	ID string `json:"id"`
+	// User is the recorded operator account.
+	User string `json:"user"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// ExpectedCluster is the generating profile ID for normal sessions
+	// and -1 for anomalous ones.
+	ExpectedCluster int `json:"expected_cluster"`
+	// ExpectedAnomalous is the ground-truth label: should a detector
+	// flag this session?
+	ExpectedAnomalous bool `json:"expected_anomalous"`
+	// Actions is the ordered action-name sequence.
+	Actions []string `json:"actions"`
+}
+
+// Corpus is the loaded evaluation corpus.
+type Corpus struct {
+	Sessions []Session `json:"sessions"`
+}
+
+// Load parses the embedded corpus. The result is freshly allocated on
+// every call, so callers may mutate it freely.
+func Load() (*Corpus, error) {
+	var c Corpus
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("corpus: parse embedded corpus: %w", err)
+	}
+	if len(c.Sessions) == 0 {
+		return nil, fmt.Errorf("corpus: embedded corpus is empty")
+	}
+	seen := make(map[string]bool, len(c.Sessions))
+	for i, s := range c.Sessions {
+		if s.ID == "" {
+			return nil, fmt.Errorf("corpus: session %d has no id", i)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("corpus: duplicate session id %q", s.ID)
+		}
+		seen[s.ID] = true
+		if len(s.Actions) < 2 {
+			return nil, fmt.Errorf("corpus: session %q has %d actions, need >= 2", s.ID, len(s.Actions))
+		}
+	}
+	return &c, nil
+}
+
+// Normals returns the sessions expected to pass unalarmed.
+func (c *Corpus) Normals() []Session { return c.filter(false) }
+
+// Anomalies returns the sessions expected to be flagged.
+func (c *Corpus) Anomalies() []Session { return c.filter(true) }
+
+func (c *Corpus) filter(anomalous bool) []Session {
+	var out []Session
+	for _, s := range c.Sessions {
+		if s.ExpectedAnomalous == anomalous {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ActionSessions converts the corpus into actionlog sessions (cluster =
+// ExpectedCluster) with deterministic start times: session i starts i
+// minutes after a fixed base, so any derived event stream is reproducible.
+func (c *Corpus) ActionSessions() []*actionlog.Session {
+	base := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]*actionlog.Session, len(c.Sessions))
+	for i, s := range c.Sessions {
+		out[i] = &actionlog.Session{
+			ID:      s.ID,
+			User:    s.User,
+			Start:   base.Add(time.Duration(i) * time.Minute),
+			Actions: append([]string(nil), s.Actions...),
+			Cluster: s.ExpectedCluster,
+		}
+	}
+	return out
+}
+
+// Events flattens the corpus into one deterministic, time-ordered,
+// interleaved event stream — the replay input of the engine determinism
+// tests.
+func (c *Corpus) Events() []actionlog.Event {
+	return actionlog.Flatten(c.ActionSessions())
+}
+
+// ByCluster groups the normal sessions by expected cluster; the slice is
+// indexed by profile ID and sized to the largest one present.
+func (c *Corpus) ByCluster() [][]*actionlog.Session {
+	maxID := -1
+	for _, s := range c.Normals() {
+		if s.ExpectedCluster > maxID {
+			maxID = s.ExpectedCluster
+		}
+	}
+	out := make([][]*actionlog.Session, maxID+1)
+	for _, as := range c.ActionSessions() {
+		if as.Cluster >= 0 && as.Cluster < len(out) {
+			out[as.Cluster] = append(out[as.Cluster], as)
+		}
+	}
+	return out
+}

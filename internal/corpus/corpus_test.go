@@ -1,0 +1,158 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/logsim"
+)
+
+func load(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCorpusSize pins the corpus shape: ~100 sessions with both labels
+// populated, so a silent regeneration that shrinks coverage fails loudly.
+func TestCorpusSize(t *testing.T) {
+	c := load(t)
+	if len(c.Sessions) < 100 {
+		t.Fatalf("corpus has %d sessions, want >= 100", len(c.Sessions))
+	}
+	if n := len(c.Normals()); n < 70 {
+		t.Fatalf("corpus has %d normal sessions, want >= 70", n)
+	}
+	if n := len(c.Anomalies()); n < 20 {
+		t.Fatalf("corpus has %d anomalous sessions, want >= 20", n)
+	}
+	if len(c.Normals())+len(c.Anomalies()) != len(c.Sessions) {
+		t.Fatal("normal/anomalous split does not partition the corpus")
+	}
+}
+
+// TestCorpusCoversEveryProfile asserts every logsim behavior profile
+// contributes normal sessions, each consistently labeled.
+func TestCorpusCoversEveryProfile(t *testing.T) {
+	c := load(t)
+	profiles := logsim.DefaultProfiles()
+	perProfile := make(map[int]int)
+	for _, s := range c.Normals() {
+		if s.Kind != KindProfile {
+			t.Fatalf("normal session %s has kind %q, want %q", s.ID, s.Kind, KindProfile)
+		}
+		if s.ExpectedCluster < 0 || s.ExpectedCluster >= len(profiles) {
+			t.Fatalf("normal session %s has cluster %d outside [0,%d)", s.ID, s.ExpectedCluster, len(profiles))
+		}
+		perProfile[s.ExpectedCluster]++
+	}
+	for _, p := range profiles {
+		if perProfile[p.ID] < 3 {
+			t.Errorf("profile %d (%s) has %d corpus sessions, want >= 3", p.ID, p.Name, perProfile[p.ID])
+		}
+	}
+}
+
+// TestCorpusCoversEveryAnomalyKind asserts every anomaly kind (random plus
+// all scripted misuse scenarios) is present and labeled anomalous with no
+// cluster.
+func TestCorpusCoversEveryAnomalyKind(t *testing.T) {
+	c := load(t)
+	perKind := make(map[string]int)
+	for _, s := range c.Anomalies() {
+		if s.ExpectedCluster != -1 {
+			t.Fatalf("anomalous session %s has cluster %d, want -1", s.ID, s.ExpectedCluster)
+		}
+		perKind[s.Kind]++
+	}
+	for _, kind := range AnomalyKinds() {
+		if perKind[kind] < 2 {
+			t.Errorf("anomaly kind %q has %d corpus sessions, want >= 2", kind, perKind[kind])
+		}
+	}
+	for kind := range perKind {
+		found := false
+		for _, known := range AnomalyKinds() {
+			if kind == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unknown anomaly kind %q in corpus", kind)
+		}
+	}
+	// The misuse kinds must match the logsim scenario names so the corpus
+	// stays aligned with the simulator.
+	for _, sc := range []logsim.MisuseScenario{
+		logsim.MisuseMassDeletion, logsim.MisuseAccountFactory, logsim.MisuseCredentialSweep,
+	} {
+		if perKind[sc.String()] == 0 {
+			t.Errorf("misuse scenario %s missing from corpus", sc)
+		}
+	}
+}
+
+// TestCorpusActionsInVocabulary asserts every action of every session is a
+// known simulator action, so any detector trained on the logsim vocabulary
+// can score the whole corpus.
+func TestCorpusActionsInVocabulary(t *testing.T) {
+	c := load(t)
+	vocab, err := actionlog.NewVocabulary(logsim.ActionNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sessions {
+		for i, a := range s.Actions {
+			if !vocab.Contains(a) {
+				t.Fatalf("session %s action %d: %q not in the simulator vocabulary", s.ID, i, a)
+			}
+		}
+	}
+}
+
+// TestCorpusDerivations exercises the deterministic derived views.
+func TestCorpusDerivations(t *testing.T) {
+	c := load(t)
+	events := c.Events()
+	var total int
+	for _, s := range c.Sessions {
+		total += len(s.Actions)
+	}
+	if len(events) != total {
+		t.Fatalf("Events returned %d events, want %d", len(events), total)
+	}
+	if !reflect.DeepEqual(c.Events(), events) {
+		t.Fatal("Events is not deterministic across calls")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("event %d out of time order", i)
+		}
+	}
+	byCluster := c.ByCluster()
+	if len(byCluster) != len(logsim.DefaultProfiles()) {
+		t.Fatalf("ByCluster has %d groups, want %d", len(byCluster), len(logsim.DefaultProfiles()))
+	}
+	for id, group := range byCluster {
+		if len(group) == 0 {
+			t.Fatalf("ByCluster group %d empty", id)
+		}
+		for _, s := range group {
+			if s.Cluster != id {
+				t.Fatalf("session %s in group %d has cluster %d", s.ID, id, s.Cluster)
+			}
+		}
+	}
+	// Load must return fresh storage: mutating one load cannot corrupt
+	// another.
+	c2 := load(t)
+	c2.Sessions[0].Actions[0] = "mutated"
+	c3 := load(t)
+	if c3.Sessions[0].Actions[0] == "mutated" {
+		t.Fatal("Load shares backing storage between calls")
+	}
+}

@@ -1,0 +1,128 @@
+// Command gen regenerates internal/corpus/corpus.json, the embedded
+// labeled evaluation corpus: six sessions from each of the 13 logsim
+// behavior profiles, eight uniformly random sessions, and five sessions
+// from each scripted misuse scenario (~100 sessions total). Generation is
+// fully deterministic; rerunning produces the identical file.
+//
+// The file is committed. Regenerate it only when the corpus design
+// changes, and expect byte-exact engine tests to be re-baselined.
+//
+// Usage (from the repo root):
+//
+//	go run ./internal/corpus/gen -out internal/corpus/corpus.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"misusedetect/internal/corpus"
+	"misusedetect/internal/logsim"
+)
+
+const (
+	perProfile = 6
+	randomN    = 8
+	perMisuse  = 5
+	seed       = 20190707
+)
+
+func main() {
+	out := flag.String("out", "internal/corpus/corpus.json", "output path")
+	flag.Parse()
+	c, err := build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d sessions (%d normal, %d anomalous)\n",
+		*out, len(c.Sessions), len(c.Normals()), len(c.Anomalies()))
+}
+
+func build() (*corpus.Corpus, error) {
+	var c corpus.Corpus
+
+	// Normal sessions: per profile, generate a single-profile corpus so
+	// every session is attributable, then keep the first perProfile.
+	for _, p := range logsim.DefaultProfiles() {
+		cfg := logsim.Config{
+			Sessions: perProfile,
+			Users:    3,
+			Days:     5,
+			Start:    logsim.PaperConfig(0).Start,
+			Seed:     seed + int64(p.ID),
+			Profiles: []logsim.Profile{p},
+		}
+		gen, err := logsim.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("profile %d: %w", p.ID, err)
+		}
+		for i, s := range gen.Sessions {
+			c.Sessions = append(c.Sessions, corpus.Session{
+				ID:                fmt.Sprintf("corpus-p%02d-%02d", p.ID, i),
+				User:              s.User,
+				Kind:              corpus.KindProfile,
+				ExpectedCluster:   p.ID,
+				ExpectedAnomalous: false,
+				Actions:           s.Actions,
+			})
+		}
+	}
+
+	// Random anomalies over the full vocabulary.
+	vocab, err := logsim.Generate(logsim.Config{
+		Sessions: 1, Users: 1, Days: 1,
+		Start: logsim.PaperConfig(0).Start, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	randoms, err := logsim.RandomSessions(vocab.Vocabulary, randomN, 5, 25, seed+100)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range randoms {
+		c.Sessions = append(c.Sessions, corpus.Session{
+			ID:                fmt.Sprintf("corpus-random-%02d", i),
+			User:              s.User,
+			Kind:              corpus.KindRandom,
+			ExpectedCluster:   -1,
+			ExpectedAnomalous: true,
+			Actions:           s.Actions,
+		})
+	}
+
+	// Scripted misuse anomalies, every scenario.
+	scenarios := []logsim.MisuseScenario{
+		logsim.MisuseMassDeletion,
+		logsim.MisuseAccountFactory,
+		logsim.MisuseCredentialSweep,
+	}
+	for _, sc := range scenarios {
+		for i := 0; i < perMisuse; i++ {
+			s, err := logsim.MisuseSession(sc, 4+i, seed+200+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			c.Sessions = append(c.Sessions, corpus.Session{
+				ID:                fmt.Sprintf("corpus-%s-%02d", sc, i),
+				User:              s.User,
+				Kind:              sc.String(),
+				ExpectedCluster:   -1,
+				ExpectedAnomalous: true,
+				Actions:           s.Actions,
+			})
+		}
+	}
+	return &c, nil
+}

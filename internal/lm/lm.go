@@ -248,3 +248,10 @@ func (m *Model) CorpusLoss(sessions [][]int) (float64, error) {
 
 // Stream returns an incremental per-action scorer for the online regime.
 func (m *Model) Stream() *nn.StreamState { return m.net.NewStream() }
+
+// StreamPrealloc returns an incremental scorer backed by preallocated
+// scratch buffers: steady-state scoring performs no per-action
+// allocations, at the cost that the distribution returned by Observe is
+// only valid until the next Observe. This is the variant the concurrent
+// scoring engine uses, where per-action garbage would dominate.
+func (m *Model) StreamPrealloc() *nn.StreamState { return m.net.NewStreamPrealloc() }

@@ -43,6 +43,13 @@ func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
 	return out
 }
 
+// ForwardInto computes logits = W x + b into dst (len OutputSize) without
+// allocating, the scratch-buffer variant of Forward.
+func (d *Dense) ForwardInto(dst, x tensor.Vector) {
+	copy(dst, d.B.W.Data)
+	d.W.W.MulVecAdd(dst, x)
+}
+
 // Backward accumulates gradients given the input that produced the logits
 // and dLogits, returning dX.
 func (d *Dense) Backward(x, dLogits tensor.Vector) tensor.Vector {

@@ -121,6 +121,60 @@ func (l *LSTM) Step(st *State, x int, cache *stepCache) tensor.Vector {
 	return h
 }
 
+// StepScratch holds the per-step work buffers of an allocation-free
+// inference step. One scratch must not be shared between goroutines.
+type StepScratch struct {
+	z, i, f, o, g tensor.Vector
+	// h and c are double buffers: StepReuse computes the next state into
+	// them and swaps them with the State's slices, so the previous state
+	// storage becomes the next step's scratch.
+	h, c tensor.Vector
+}
+
+// NewStepScratch allocates work buffers sized for this layer.
+func (l *LSTM) NewStepScratch() *StepScratch {
+	hs := l.HiddenSize
+	return &StepScratch{
+		z: tensor.NewVector(4 * hs),
+		i: tensor.NewVector(hs),
+		f: tensor.NewVector(hs),
+		o: tensor.NewVector(hs),
+		g: tensor.NewVector(hs),
+		h: tensor.NewVector(hs),
+		c: tensor.NewVector(hs),
+	}
+}
+
+// StepReuse advances the state by one input index exactly like Step but
+// without allocating: all intermediates live in the scratch, and the new
+// (h, c) are swapped into the state. The returned hidden vector aliases
+// st.H and is only valid until the next step. Inference-only: no cache is
+// recorded, so it cannot feed the backward pass.
+func (l *LSTM) StepReuse(st *State, x int, s *StepScratch) tensor.Vector {
+	hs := l.HiddenSize
+	z := s.z
+	copy(z, l.B.W.Data)
+	if x >= 0 {
+		for r := 0; r < 4*hs; r++ {
+			z[r] += l.Wx.W.Data[r*l.InputSize+x]
+		}
+	}
+	l.Wh.W.MulVecAdd(z, st.H)
+	for k := 0; k < hs; k++ {
+		s.i[k] = sigmoid(z[k])
+		s.f[k] = sigmoid(z[hs+k])
+		s.o[k] = sigmoid(z[2*hs+k])
+		s.g[k] = math.Tanh(z[3*hs+k])
+	}
+	for k := 0; k < hs; k++ {
+		s.c[k] = s.f[k]*st.C[k] + s.i[k]*s.g[k]
+		s.h[k] = s.o[k] * math.Tanh(s.c[k])
+	}
+	st.H, s.h = s.h, st.H
+	st.C, s.c = s.c, st.C
+	return st.H
+}
+
 // backwardStep accumulates parameter gradients for one cached step given
 // dH (gradient w.r.t. the step's output hidden vector) and dC (gradient
 // flowing into the cell state from the future). It returns the gradients

@@ -135,11 +135,41 @@ type StreamState struct {
 	// nextProbs is the prediction for the upcoming action; nil until the
 	// first action is consumed.
 	nextProbs tensor.Vector
+	// scratch, when non-nil, switches the stream into buffer-reuse mode:
+	// every Observe writes into the same preallocated buffers instead of
+	// allocating fresh vectors.
+	scratch *StreamScratch
+}
+
+// StreamScratch holds the preallocated buffers of an allocation-free
+// stream: the LSTM step scratch plus the logits and probability vectors.
+type StreamScratch struct {
+	lstm   *StepScratch
+	logits tensor.Vector
+	probs  tensor.Vector
+}
+
+// NewStreamScratch allocates stream buffers sized for this network.
+func (n *LanguageNetwork) NewStreamScratch() *StreamScratch {
+	return &StreamScratch{
+		lstm:   n.lstm.NewStepScratch(),
+		logits: tensor.NewVector(n.cfg.InputSize),
+		probs:  tensor.NewVector(n.cfg.InputSize),
+	}
 }
 
 // NewStream returns a fresh incremental scorer.
 func (n *LanguageNetwork) NewStream() *StreamState {
 	return &StreamState{net: n, state: n.lstm.NewState()}
+}
+
+// NewStreamPrealloc returns an incremental scorer that reuses preallocated
+// scratch buffers across steps, so steady-state scoring performs no
+// per-action allocations. In this mode the distribution returned by
+// Observe is overwritten by the next Observe; callers that retain it
+// across steps must read it before observing again (or Clone it).
+func (n *LanguageNetwork) NewStreamPrealloc() *StreamState {
+	return &StreamState{net: n, state: n.lstm.NewState(), scratch: n.NewStreamScratch()}
 }
 
 // Observe consumes one action and returns (probability the model assigned
@@ -153,10 +183,18 @@ func (s *StreamState) Observe(action int) (float64, tensor.Vector, error) {
 	if s.nextProbs != nil {
 		p = s.nextProbs[action]
 	}
-	h := s.net.lstm.Step(s.state, action, nil)
-	logits := s.net.dense.Forward(h)
-	probs := tensor.NewVector(len(logits))
-	tensor.Softmax(probs, logits)
+	var probs tensor.Vector
+	if s.scratch != nil {
+		h := s.net.lstm.StepReuse(s.state, action, s.scratch.lstm)
+		s.net.dense.ForwardInto(s.scratch.logits, h)
+		probs = s.scratch.probs
+		tensor.Softmax(probs, s.scratch.logits)
+	} else {
+		h := s.net.lstm.Step(s.state, action, nil)
+		logits := s.net.dense.Forward(h)
+		probs = tensor.NewVector(len(logits))
+		tensor.Softmax(probs, logits)
+	}
 	s.nextProbs = probs
 	return p, probs, nil
 }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStepReuseMatchesStep pins the scratch-buffer LSTM step to the
+// allocating one bit for bit, across a long random sequence.
+func TestStepReuseMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l, err := NewLSTM(11, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := l.NewState()
+	stB := l.NewState()
+	scratch := l.NewStepScratch()
+	for step := 0; step < 200; step++ {
+		x := rng.Intn(11)
+		hA := l.Step(stA, x, nil)
+		hB := l.StepReuse(stB, x, scratch)
+		for k := range hA {
+			if hA[k] != hB[k] {
+				t.Fatalf("step %d: hidden[%d] = %v (Step) vs %v (StepReuse)", step, k, hA[k], hB[k])
+			}
+		}
+		for k := range stA.C {
+			if stA.C[k] != stB.C[k] {
+				t.Fatalf("step %d: cell[%d] diverged", step, k)
+			}
+		}
+	}
+}
+
+// TestStreamPreallocMatchesStream pins the preallocated stream to the
+// allocating stream: identical probabilities at every step.
+func TestStreamPreallocMatchesStream(t *testing.T) {
+	net, err := NewLanguageNetwork(NetworkConfig{InputSize: 9, HiddenSize: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.NewStream()
+	b := net.NewStreamPrealloc()
+	rng := rand.New(rand.NewSource(8))
+	for step := 0; step < 150; step++ {
+		x := rng.Intn(9)
+		pA, probsA, err := a.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, probsB, err := b.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pA != pB {
+			t.Fatalf("step %d: likelihood %v (alloc) vs %v (prealloc)", step, pA, pB)
+		}
+		for k := range probsA {
+			if probsA[k] != probsB[k] {
+				t.Fatalf("step %d: probs[%d] = %v vs %v", step, k, probsA[k], probsB[k])
+			}
+		}
+	}
+	if _, _, err := b.Observe(99); err == nil {
+		t.Fatal("out-of-vocab action must fail in prealloc mode too")
+	}
+}
+
+// TestStreamPreallocSteadyStateAllocs asserts the point of the scratch
+// API: after warmup, observing actions allocates nothing.
+func TestStreamPreallocSteadyStateAllocs(t *testing.T) {
+	net, err := NewLanguageNetwork(NetworkConfig{InputSize: 9, HiddenSize: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.NewStreamPrealloc()
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Observe(i % 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, _, err := s.Observe(3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("prealloc stream allocates %v objects per action, want 0", avg)
+	}
+}
