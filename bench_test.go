@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
 	"misusedetect/internal/core"
 	"misusedetect/internal/experiments"
 	"misusedetect/internal/logsim"
+	"misusedetect/internal/scorer"
 )
 
 // benchSetup builds the bench-scale experiment environment once; the
@@ -194,6 +196,103 @@ func BenchmarkEngineShards4(b *testing.B) { benchmarkEngine(b, 4) }
 
 // BenchmarkEngineShards8 measures scaling headroom past the default.
 func BenchmarkEngineShards8(b *testing.B) { benchmarkEngine(b, 8) }
+
+// backendBenchInput builds the shared encoded corpus for the backend
+// throughput comparison: the training sessions and a flattened action
+// stream to score.
+func backendBenchInput(b *testing.B) (enc [][]int, actions []int, vocab int) {
+	s := benchmarkSetup(b)
+	v := s.Corpus.Vocabulary
+	sessions := actionlog.FilterMinLength(s.Corpus.Sessions, 2)
+	var err error
+	enc, err = v.EncodeAll(sessions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range enc {
+		actions = append(actions, e...)
+	}
+	return enc, actions, v.Size()
+}
+
+// benchmarkBackendStream measures steady-state per-action scoring cost
+// (throughput and allocations) of one backend's scorer.Stream — the
+// apples-to-apples comparison behind cheap-backend routing decisions.
+func benchmarkBackendStream(b *testing.B, sc scorer.Scorer, actions []int) {
+	st := sc.NewStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Observe(actions[i%len(actions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "actions/sec")
+}
+
+// benchmarkBackendLikelihood measures the likelihood-only serving path
+// (what the engine's monitor pays per (event, cluster)): backends with
+// a scorer.LikelihoodStream fast path skip the predictive distribution.
+func benchmarkBackendLikelihood(b *testing.B, sc scorer.Scorer, actions []int) {
+	st := sc.NewStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scorer.ObserveLikelihood(st, actions[i%len(actions)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "actions/sec")
+}
+
+func benchNGram(b *testing.B) (*baseline.NGram, []int) {
+	enc, actions, vocab := backendBenchInput(b)
+	m, err := baseline.TrainNGram(enc, vocab, baseline.DefaultNGramConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, actions
+}
+
+func benchHMM(b *testing.B) (*baseline.HMM, []int) {
+	enc, actions, vocab := backendBenchInput(b)
+	m, err := baseline.TrainHMM(enc, vocab, baseline.HMMConfig{States: 8, Iterations: 3, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, actions
+}
+
+// BenchmarkBackendStreamLSTM scores through the bench-scale global LSTM.
+func BenchmarkBackendStreamLSTM(b *testing.B) {
+	_, actions, _ := backendBenchInput(b)
+	benchmarkBackendStream(b, benchmarkSetup(b).GlobalLM, actions)
+}
+
+// BenchmarkBackendStreamNGram scores through an interpolated trigram.
+func BenchmarkBackendStreamNGram(b *testing.B) {
+	m, actions := benchNGram(b)
+	benchmarkBackendStream(b, m, actions)
+}
+
+// BenchmarkBackendStreamHMM scores through a discrete HMM's forward
+// step.
+func BenchmarkBackendStreamHMM(b *testing.B) {
+	m, actions := benchHMM(b)
+	benchmarkBackendStream(b, m, actions)
+}
+
+// BenchmarkBackendLikelihoodNGram is the trigram's monitor hot path.
+func BenchmarkBackendLikelihoodNGram(b *testing.B) {
+	m, actions := benchNGram(b)
+	benchmarkBackendLikelihood(b, m, actions)
+}
+
+// BenchmarkBackendLikelihoodHMM is the HMM's monitor hot path.
+func BenchmarkBackendLikelihoodHMM(b *testing.B) {
+	m, actions := benchHMM(b)
+	benchmarkBackendLikelihood(b, m, actions)
+}
 
 // BenchmarkExtensionAUC measures the detection-quality (ROC/AUC) sweep.
 func BenchmarkExtensionAUC(b *testing.B) { benchmarkFigure(b, "extension-auc") }

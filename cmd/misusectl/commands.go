@@ -75,6 +75,7 @@ func cmdTrain(args []string) error {
 	modelDir := fs.String("model", "./model", "output model directory")
 	clusters := fs.Int("clusters", 13, "number of behavior clusters")
 	scale := fs.String("scale", "default", "model scale: test|bench|default|paper")
+	backend := fs.String("backend", "lstm", "per-cluster sequence-model backend: lstm|ngram|hmm")
 	seed := fs.Int64("seed", 1, "training seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +98,7 @@ func cmdTrain(args []string) error {
 	hidden, epochs, lr := scaleModel(sc)
 	cfg := core.ScaledConfig(vocab.Size(), *clusters, hidden, epochs, *seed)
 	cfg.LM.Trainer.LearningRate = lr
+	cfg.Backend = *backend
 
 	fmt.Printf("clustering %d sessions into %d behavior clusters...\n", len(sessions), *clusters)
 	clustering, err := core.ClusterHistory(cfg, vocab, sessions)
@@ -110,7 +112,7 @@ func cmdTrain(args []string) error {
 	for i, p := range parts {
 		fmt.Printf("  cluster %d: %d sessions\n", i, len(p))
 	}
-	fmt.Println("training per-cluster OC-SVMs and LSTM language models...")
+	fmt.Printf("training per-cluster OC-SVMs and %s sequence models...\n", cfg.Backend)
 	det, err := core.TrainDetector(cfg, vocab, parts, func(cluster int, st nn.EpochStats) {
 		fmt.Printf("  cluster %d epoch %d: loss %.4f over %d predictions\n",
 			cluster, st.Epoch, st.Loss, st.Examples)
@@ -334,11 +336,12 @@ func cmdInspect(args []string) error {
 		return err
 	}
 	fmt.Printf("model: %s\n", *modelDir)
+	fmt.Printf("backend: %s\n", det.Backend())
 	fmt.Printf("vocabulary: %d actions\n", det.Vocabulary().Size())
 	fmt.Printf("clusters: %d\n", det.ClusterCount())
 	for i, c := range det.Clusters() {
-		fmt.Printf("  cluster %2d: %5d training sessions, %4d support vectors, lm vocab %d\n",
-			i, c.TrainSize, c.Router.SupportVectorCount(), c.LM.VocabSize())
+		fmt.Printf("  cluster %2d: %5d training sessions, %4d support vectors, model vocab %d\n",
+			i, c.TrainSize, c.Router.SupportVectorCount(), c.Model.VocabSize())
 	}
 	return nil
 }
@@ -349,6 +352,41 @@ type statusReply struct {
 	Uptime string           `json:"uptime"`
 }
 
+// reloadReply mirrors the misused daemon's reload line.
+type reloadReply struct {
+	Reload struct {
+		Version  uint64 `json:"version"`
+		Backend  string `json:"backend"`
+		Clusters int    `json:"clusters"`
+	} `json:"reload"`
+}
+
+// controlRoundTrip sends one {"cmd":...} line to a misused daemon and
+// returns the reply line. A reply carrying an "error" field is turned
+// into an error.
+func controlRoundTrip(addr, cmd string, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%s: dial %s: %w", cmd, addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "{\"cmd\":%q}\n", cmd); err != nil {
+		return nil, fmt.Errorf("%s: request: %w", cmd, err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%s: read reply: %w", cmd, err)
+	}
+	var errReply struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(line, &errReply) == nil && errReply.Error != "" {
+		return nil, fmt.Errorf("%s: daemon: %s", cmd, errReply.Error)
+	}
+	return line, nil
+}
+
 func cmdStatus(args []string) error {
 	fs := newFlagSet("status")
 	addr := fs.String("addr", "127.0.0.1:7074", "misused daemon address")
@@ -357,18 +395,9 @@ func cmdStatus(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	line, err := controlRoundTrip(*addr, "status", *timeout)
 	if err != nil {
-		return fmt.Errorf("status: dial %s: %w", *addr, err)
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(*timeout))
-	if _, err := conn.Write([]byte("{\"cmd\":\"status\"}\n")); err != nil {
-		return fmt.Errorf("status: request: %w", err)
-	}
-	line, err := bufio.NewReader(conn).ReadBytes('\n')
-	if err != nil {
-		return fmt.Errorf("status: read reply: %w", err)
+		return err
 	}
 	if *jsonOut {
 		fmt.Print(string(line))
@@ -381,6 +410,9 @@ func cmdStatus(args []string) error {
 	st := reply.Status
 	fmt.Printf("misused at %s (up %s)\n", *addr, reply.Uptime)
 	fmt.Printf("  shards:           %d\n", st.Shards)
+	fmt.Printf("  backend:          %s\n", st.Backend)
+	fmt.Printf("  model version:    %d\n", st.ModelVersion)
+	fmt.Printf("  reloads:          %d\n", st.Reloads)
 	fmt.Printf("  events submitted: %d\n", st.EventsSubmitted)
 	fmt.Printf("  events processed: %d\n", st.EventsProcessed)
 	fmt.Printf("  events in flight: %d\n", st.EventsInFlight)
@@ -388,5 +420,25 @@ func cmdStatus(args []string) error {
 	fmt.Printf("  alarms raised:    %d\n", st.AlarmsRaised)
 	fmt.Printf("  evictions:        %d\n", st.Evictions)
 	fmt.Printf("  score errors:     %d\n", st.ScoreErrors)
+	return nil
+}
+
+func cmdReload(args []string) error {
+	fs := newFlagSet("reload")
+	addr := fs.String("addr", "127.0.0.1:7074", "misused daemon address")
+	timeout := fs.Duration("timeout", 30*time.Second, "dial/read timeout (model loading included)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	line, err := controlRoundTrip(*addr, "reload", *timeout)
+	if err != nil {
+		return err
+	}
+	var reply reloadReply
+	if err := json.Unmarshal(line, &reply); err != nil || reply.Reload.Version == 0 {
+		return fmt.Errorf("reload: unexpected reply %q", line)
+	}
+	fmt.Printf("misused at %s reloaded: model version %d, backend %s, %d clusters\n",
+		*addr, reply.Reload.Version, reply.Reload.Backend, reply.Reload.Clusters)
 	return nil
 }

@@ -7,12 +7,13 @@
 // Usage:
 //
 //	misusectl generate   -out events.jsonl [-divisor 10] [-seed 1]
-//	misusectl train      -data events.jsonl -model ./model [-clusters 13] [-scale default]
+//	misusectl train      -data events.jsonl -model ./model [-clusters 13] [-scale default] [-backend lstm|ngram|hmm]
 //	misusectl score      -data events.jsonl -model ./model [-top 20]
 //	misusectl monitor    -data events.jsonl -model ./model
 //	misusectl experiment -id fig5 [-scale test] [-seed 42]  (or -id all)
 //	misusectl inspect    -model ./model
 //	misusectl status     -addr 127.0.0.1:7074
+//	misusectl reload     -addr 127.0.0.1:7074
 package main
 
 import (
@@ -50,6 +51,8 @@ func run(args []string) error {
 		return cmdInspect(args[1:])
 	case "status":
 		return cmdStatus(args[1:])
+	case "reload":
+		return cmdReload(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -70,7 +73,8 @@ subcommands:
   viz         build the visual interface artifacts (t-SNE projection, topic-action matrix, chord diagram)
   experiment  regenerate a paper figure (fig3 fig4 fig5 fig6 fig7 fig8-9 fig10 fig11-12 top20 ablation-* extension-*) or 'all'
   inspect     describe a saved model directory
-  status      query a running misused daemon for its engine counters`)
+  status      query a running misused daemon for its engine counters (backend, model version, ...)
+  reload      hot-swap a running misused daemon onto its re-trained model directory`)
 }
 
 func newFlagSet(name string) *flag.FlagSet {

@@ -38,6 +38,21 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := run([]string{"monitor", "-data", events, "-model", model}); err != nil {
 		t.Fatalf("monitor: %v", err)
 	}
+
+	// The same flow with a classical backend selected by flag.
+	ngModel := filepath.Join(dir, "model-ngram")
+	if err := run([]string{"train", "-data", events, "-model", ngModel, "-clusters", "4", "-scale", "test", "-seed", "2", "-backend", "ngram"}); err != nil {
+		t.Fatalf("train ngram: %v", err)
+	}
+	if err := run([]string{"inspect", "-model", ngModel}); err != nil {
+		t.Fatalf("inspect ngram: %v", err)
+	}
+	if err := run([]string{"score", "-data", events, "-model", ngModel, "-top", "5"}); err != nil {
+		t.Fatalf("score ngram: %v", err)
+	}
+	if err := run([]string{"monitor", "-data", events, "-model", ngModel}); err != nil {
+		t.Fatalf("monitor ngram: %v", err)
+	}
 }
 
 func TestCLIErrors(t *testing.T) {
@@ -58,6 +73,9 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"experiment", "-scale", "bogus"}); err == nil {
 		t.Fatal("bad scale must fail")
+	}
+	if err := run([]string{"reload", "-addr", "127.0.0.1:1", "-timeout", "100ms"}); err == nil {
+		t.Fatal("reload against a dead daemon must fail")
 	}
 	if err := run([]string{"help"}); err != nil {
 		t.Fatal("help must succeed")

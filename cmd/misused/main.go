@@ -15,9 +15,18 @@
 //
 // Scoring runs on a sharded concurrent engine (see internal/core.Engine
 // and ARCHITECTURE.md): session IDs are hashed onto -shards independent
-// scoring goroutines fed through bounded queues of depth -queue.
-// Clients may send the control line {"cmd":"status"} to receive a JSON
-// snapshot of the engine counters (misusectl status wraps this).
+// scoring goroutines fed through bounded queues of depth -queue. The
+// model may use any registered scorer backend (LSTM, n-gram, HMM); the
+// backend is recorded in the model directory and restored on load.
+//
+// Control commands (one JSON line each, misusectl wraps both):
+//
+//	{"cmd":"status"}  ->  engine counters, active backend + model version
+//	{"cmd":"reload"}  ->  re-read -model and hot-swap the new model set;
+//	                      in-flight sessions finish on the version they
+//	                      started on (zero downtime, no weight mixing)
+//
+// Unknown commands receive a {"error":...} JSON line.
 package main
 
 import (
@@ -56,6 +65,7 @@ func run(modelDir, listen string, idle time.Duration, shards, queue int) error {
 	}
 	srv, err := NewServer(det, ServerConfig{
 		Listen:     listen,
+		ModelDir:   modelDir,
 		IdleExpiry: idle,
 		Shards:     shards,
 		QueueDepth: queue,
@@ -67,7 +77,7 @@ func run(modelDir, listen string, idle time.Duration, shards, queue int) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("misused listening on %s (model %s, %d clusters, %d shards)\n",
-		srv.Addr(), modelDir, det.ClusterCount(), srv.Stats().Shards)
+	fmt.Printf("misused listening on %s (model %s, backend %s, %d clusters, %d shards)\n",
+		srv.Addr(), modelDir, det.Backend(), det.ClusterCount(), srv.Stats().Shards)
 	return srv.Serve(ctx)
 }

@@ -17,6 +17,9 @@ import (
 type ServerConfig struct {
 	// Listen is the TCP address to bind.
 	Listen string
+	// ModelDir is the model directory re-read by the {"cmd":"reload"}
+	// control command; empty disables reload.
+	ModelDir string
 	// IdleExpiry evicts session monitors that have not seen an event
 	// for this long.
 	IdleExpiry time.Duration
@@ -39,10 +42,29 @@ const writeTimeout = 30 * time.Second
 type Alarm = core.Alarm
 
 // StatusReply is the JSON line written back for a status request: the
-// engine counters plus daemon identity.
+// engine counters (including the active backend and model version) plus
+// daemon identity.
 type StatusReply struct {
 	Status core.EngineStats `json:"status"`
 	Uptime string           `json:"uptime"`
+}
+
+// ReloadReply is the JSON line written back for a successful reload.
+type ReloadReply struct {
+	Reload ReloadStatus `json:"reload"`
+}
+
+// ReloadStatus describes the installed model generation.
+type ReloadStatus struct {
+	Version  uint64 `json:"version"`
+	Backend  string `json:"backend"`
+	Clusters int    `json:"clusters"`
+}
+
+// ErrorReply is the JSON line written back when a control command fails
+// or is not recognized.
+type ErrorReply struct {
+	Error string `json:"error"`
 }
 
 // inboundLine is one decoded client line: control lines carry a "cmd"
@@ -216,22 +238,61 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	<-writerDone
 }
 
-// handleCommand answers a control line ({"cmd":"status"}).
+// handleCommand answers a control line ({"cmd":"status"} or
+// {"cmd":"reload"}). Unknown commands get a JSON error line back, so a
+// misbehaving client sees its mistake instead of silence.
 func (s *Server) handleCommand(cmd string, enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
 	switch cmd {
 	case "status":
-		reply := StatusReply{
+		s.writeReply(enc, writeMu, conn, &StatusReply{
 			Status: s.engine.Stats(),
 			Uptime: time.Since(s.start).Round(time.Millisecond).String(),
-		}
-		writeMu.Lock()
-		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-		err := enc.Encode(&reply)
-		writeMu.Unlock()
-		if err != nil {
-			s.logf("write status to %s: %v", conn.RemoteAddr(), err)
-		}
+		})
+	case "reload":
+		s.handleReload(enc, writeMu, conn)
 	default:
 		s.logf("unknown command %q from %s", cmd, conn.RemoteAddr())
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("unknown command %q", cmd)})
+	}
+}
+
+// handleReload re-reads the model directory and hot-swaps the new
+// generation into the engine registry. Sessions already streaming keep
+// their pinned generation; new sessions score with the reloaded one.
+func (s *Server) handleReload(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
+	if s.cfg.ModelDir == "" {
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "reload unavailable: server started without a model directory"})
+		return
+	}
+	det, err := core.LoadDetector(s.cfg.ModelDir)
+	if err != nil {
+		s.logf("reload %s: %v", s.cfg.ModelDir, err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
+		return
+	}
+	mv, err := s.engine.Reload(det, s.cfg.ModelDir)
+	if err != nil {
+		s.logf("reload %s: %v", s.cfg.ModelDir, err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
+		return
+	}
+	s.logf("reloaded model from %s: version %d, backend %s, %d clusters",
+		s.cfg.ModelDir, mv.Version, mv.Det.Backend(), mv.Det.ClusterCount())
+	s.writeReply(enc, writeMu, conn, &ReloadReply{Reload: ReloadStatus{
+		Version:  mv.Version,
+		Backend:  mv.Det.Backend(),
+		Clusters: mv.Det.ClusterCount(),
+	}})
+}
+
+// writeReply encodes one control reply under the connection's write lock
+// and deadline, so replies never interleave with alarm lines mid-line.
+func (s *Server) writeReply(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn, v any) {
+	writeMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	err := enc.Encode(v)
+	writeMu.Unlock()
+	if err != nil {
+		s.logf("write reply to %s: %v", conn.RemoteAddr(), err)
 	}
 }

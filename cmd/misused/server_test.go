@@ -6,11 +6,15 @@ import (
 	"encoding/json"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
 	"misusedetect/internal/core"
+	"misusedetect/internal/corpus"
+	"misusedetect/internal/logsim"
 )
 
 // tinyDetector trains a minimal two-behavior detector for server tests.
@@ -233,6 +237,181 @@ func TestServerExpiresIdleSessions(t *testing.T) {
 			t.Fatalf("idle session not evicted: %+v", st)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerNGramBackendEndToEnd covers the full classical-backend
+// serving flow on the embedded corpus: train an ngram detector (selected
+// purely by config), save it through the tagged envelope, load it back,
+// serve it, and stream an anomalous corpus session until alarms come
+// back — no LSTM code anywhere in the path.
+func TestServerNGramBackendEndToEnd(t *testing.T) {
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab, err := actionlog.NewVocabulary(logsim.ActionNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ScaledConfig(vocab.Size(), 13, 8, 2, 11)
+	cfg.Backend = baseline.BackendNGram
+	det, err := core.TrainDetector(cfg, vocab, c.ByCluster(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "model")
+	if err := det.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadDetector(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Backend() != baseline.BackendNGram {
+		t.Fatalf("loaded backend %q", loaded.Backend())
+	}
+
+	srv, err := NewServer(loaded, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		ModelDir:   dir,
+		IdleExpiry: time.Minute,
+		Shards:     3,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	base := time.Date(2019, 3, 1, 10, 0, 0, 0, time.UTC)
+	anomalies := c.Anomalies()
+	if len(anomalies) == 0 {
+		t.Fatal("corpus has no anomalous sessions")
+	}
+	for _, s := range anomalies {
+		for i, a := range s.Actions {
+			ev := actionlog.Event{Time: base.Add(time.Duration(i) * time.Second), User: s.User, SessionID: s.ID, Action: a}
+			if err := enc.Encode(&ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no alarm line from the ngram-backend server: %v", sc.Err())
+	}
+	var a Alarm
+	if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+		t.Fatalf("bad alarm line %q: %v", sc.Text(), err)
+	}
+	if a.ModelVersion != 1 {
+		t.Fatalf("alarm model version = %d, want 1", a.ModelVersion)
+	}
+	if st := srv.Stats(); st.Backend != baseline.BackendNGram {
+		t.Fatalf("server reports backend %q", st.Backend)
+	}
+}
+
+// TestServerReloadCommand covers the zero-downtime reload wire command:
+// the daemon re-reads its model directory, bumps the registry version,
+// and reports the new generation in status.
+func TestServerReloadCommand(t *testing.T) {
+	det, _ := tinyDetector(t)
+	dir := filepath.Join(t.TempDir(), "model")
+	if err := det.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		ModelDir:   dir,
+		IdleExpiry: time.Minute,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write([]byte("{\"cmd\":\"reload\"}\n{\"cmd\":\"status\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no reload reply: %v", sc.Err())
+	}
+	var rr ReloadReply
+	if err := json.Unmarshal(sc.Bytes(), &rr); err != nil || rr.Reload.Version != 2 {
+		t.Fatalf("reload reply %q (err %v), want version 2", sc.Text(), err)
+	}
+	if rr.Reload.Backend != det.Backend() || rr.Reload.Clusters != det.ClusterCount() {
+		t.Fatalf("reload reply %+v does not describe the model", rr.Reload)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no status reply: %v", sc.Err())
+	}
+	var st StatusReply
+	if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+		t.Fatalf("status reply %q: %v", sc.Text(), err)
+	}
+	if st.Status.ModelVersion != 2 || st.Status.Reloads != 1 {
+		t.Fatalf("status after reload: version %d reloads %d, want 2/1", st.Status.ModelVersion, st.Status.Reloads)
+	}
+}
+
+// TestServerCommandErrors: unknown control commands and impossible
+// reloads must produce JSON error lines, not silence.
+func TestServerCommandErrors(t *testing.T) {
+	det, _ := tinyDetector(t)
+	srv, err := NewServer(det, ServerConfig{
+		Listen:     "127.0.0.1:0",
+		IdleExpiry: time.Minute,
+		Monitor:    core.DefaultMonitorConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write([]byte("{\"cmd\":\"frobnicate\"}\n{\"cmd\":\"reload\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no error reply for unknown command: %v", sc.Err())
+	}
+	var er ErrorReply
+	if err := json.Unmarshal(sc.Bytes(), &er); err != nil || er.Error != `unknown command "frobnicate"` {
+		t.Fatalf("unknown-command reply %q (err %v)", sc.Text(), err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no error reply for disabled reload: %v", sc.Err())
+	}
+	er = ErrorReply{}
+	if err := json.Unmarshal(sc.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("disabled-reload reply %q (err %v), want an error line", sc.Text(), err)
 	}
 }
 

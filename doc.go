@@ -22,6 +22,17 @@
 // labeled evaluation corpus the race-enabled test suite replays against
 // both paths. See ARCHITECTURE.md for the design.
 //
+// Scoring is backend-pluggable: the per-cluster sequence model is any
+// internal/scorer.Scorer — the paper's LSTM (internal/lm), or the
+// streaming n-gram and HMM adapters (internal/baseline) — selected by
+// core.Config.Backend and persisted through a backend-tagged
+// serialization envelope. A versioned model registry (core.Registry)
+// hot-swaps whole model generations behind an atomic pointer with
+// in-flight sessions pinned to the generation they started on; the
+// misused daemon exposes it as the {"cmd":"reload"} wire command
+// (misusectl reload), with the active backend and model version in the
+// status counters.
+//
 // Entry points:
 //
 //   - internal/core: the full pipeline (training, scoring, online

@@ -13,6 +13,7 @@ import (
 
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/baseline"
+	"misusedetect/internal/core"
 	"misusedetect/internal/experiments"
 	"misusedetect/internal/logsim"
 )
@@ -120,6 +121,44 @@ func run() error {
 	realHMM, randHMM := avgHMM(hmm, encTest), avgHMM(hmm, encRandom)
 	fmt.Printf("  %-34s real %.2f random %.2f (per-action log-likelihood; higher = more normal)\n",
 		"discrete HMM", realHMM, randHMM)
+
+	// The baselines are also first-class online detectors: train a full
+	// ngram-backend pipeline (OC-SVM routing + one trigram model per
+	// cluster) and stream a session that goes bad through the monitor —
+	// the exact serving path misused uses with -backend ngram.
+	fmt.Println("\nonline monitoring with the ngram backend (first-class streaming detector):")
+	ngCfg := core.ScaledConfig(vocab.Size(), len(setup.Splits), 16, 1, 21)
+	ngCfg.Backend = baseline.BackendNGram
+	var clusterTrain [][]*actionlog.Session
+	for _, sp := range setup.Splits {
+		clusterTrain = append(clusterTrain, sp.Train)
+	}
+	ngDet, err := core.TrainDetector(ngCfg, vocab, clusterTrain, nil)
+	if err != nil {
+		return err
+	}
+	mon, err := ngDet.NewSessionMonitor(core.DefaultMonitorConfig())
+	if err != nil {
+		return err
+	}
+	var stream []string
+	stream = append(stream, test[0].Actions...)
+	stream = append(stream, random[0].Actions...)
+	firstAlarm := -1
+	for i, a := range stream {
+		step, err := mon.ObserveAction(a)
+		if err != nil {
+			return err
+		}
+		if len(step.Alarms) > 0 && firstAlarm < 0 {
+			firstAlarm = i
+			fmt.Printf("  first alarm (%s) at position %d, %d actions after the session turned anomalous\n",
+				step.Alarms[0], i, i-len(test[0].Actions))
+		}
+	}
+	if firstAlarm < 0 {
+		fmt.Println("  no alarm raised (tiny training scale); rerun with a larger -scale")
+	}
 
 	fmt.Println(`
 note: at this tiny test scale the trigram is hard to beat - the simulated

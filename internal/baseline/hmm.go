@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"misusedetect/internal/scorer"
 	"misusedetect/internal/tensor"
 )
 
@@ -236,6 +237,128 @@ func (m *HMM) baumWelchSweep(train [][]int) {
 			}
 		}
 	}
+}
+
+// BackendHMM is the scorer-registry tag of the hidden Markov model.
+const BackendHMM = "hmm"
+
+// HMM is a scorer.Scorer, so it can serve as a first-class online
+// detector backend in internal/core.
+var _ scorer.Scorer = (*HMM)(nil)
+
+// Backend returns the scorer-registry tag of this model family.
+func (m *HMM) Backend() string { return BackendHMM }
+
+// VocabSize returns the emission-vocabulary size.
+func (m *HMM) VocabSize() int { return m.vocab }
+
+// ScoreSession computes the shared session-level normality measures by
+// streaming the forward algorithm.
+func (m *HMM) ScoreSession(session []int) (scorer.Score, error) {
+	return scorer.ScoreStream(m, session)
+}
+
+// NewStream returns an incremental scorer carrying the forward-algorithm
+// step state: the normalized filtering distribution over hidden states.
+// All buffers are preallocated, so steady-state streaming performs no
+// per-action allocations.
+func (m *HMM) NewStream() scorer.Stream {
+	return &hmmStream{
+		m:     m,
+		alpha: tensor.NewVector(m.states),
+		pred:  tensor.NewVector(m.states),
+		dist:  tensor.NewVector(m.vocab),
+	}
+}
+
+// hmmStream is the online adapter over HMM: one scaled-forward recursion
+// step per action. The likelihood it reports for action t is the forward
+// scale factor p(o_t | o_1..t-1), so the product over a session equals
+// the batch forward algorithm's likelihood.
+type hmmStream struct {
+	m *HMM
+	// alpha is the filtering distribution p(state | observed so far).
+	alpha tensor.Vector
+	// pred is the one-step state prediction scratch buffer.
+	pred tensor.Vector
+	// dist is the predictive observation distribution, materialized only
+	// by Observe (ObserveLikelihood skips it); reused each step.
+	dist tensor.Vector
+	// started flags that the first action has initialized alpha.
+	started bool
+}
+
+// Observe consumes the next action and returns p(action | history) (-1
+// for the first action, mirroring the other backends) plus the
+// predictive distribution over the following action. The distribution is
+// a scratch buffer valid until the next Observe.
+func (s *hmmStream) Observe(action int) (float64, tensor.Vector, error) {
+	lik, err := s.ObserveLikelihood(action)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Predictive distribution over the next observation:
+	// p(o) = sum_j [sum_i alpha_i trans(i,j)] emit(j, o).
+	m := s.m
+	for i := range s.dist {
+		s.dist[i] = 0
+	}
+	for j := 0; j < m.states; j++ {
+		var p float64
+		for i := 0; i < m.states; i++ {
+			p += s.alpha[i] * m.trans.At(i, j)
+		}
+		if p == 0 {
+			continue
+		}
+		emitRow := m.emit.Row(j)
+		for o := range s.dist {
+			s.dist[o] += p * emitRow[o]
+		}
+	}
+	return lik, s.dist, nil
+}
+
+// ObserveLikelihood is the scorer.LikelihoodStream fast path: one
+// forward-algorithm step, O(states^2), without the O(states x vocab)
+// predictive distribution nobody reads on the serving path.
+func (s *hmmStream) ObserveLikelihood(action int) (float64, error) {
+	m := s.m
+	if action < 0 || action >= m.vocab {
+		return 0, fmt.Errorf("baseline: hmm stream action %d outside vocab %d", action, m.vocab)
+	}
+	lik := -1.0
+	if !s.started {
+		for i := 0; i < m.states; i++ {
+			s.alpha[i] = m.initial[i] * m.emit.At(i, action)
+		}
+		normalizeInPlace(s.alpha)
+		s.started = true
+	} else {
+		// One forward step: predict the state, fold in the emission; the
+		// normalizer is exactly the conditional observation probability.
+		for j := 0; j < m.states; j++ {
+			var p float64
+			for i := 0; i < m.states; i++ {
+				p += s.alpha[i] * m.trans.At(i, j)
+			}
+			s.pred[j] = p * m.emit.At(j, action)
+		}
+		copy(s.alpha, s.pred)
+		lik = normalizeInPlace(s.alpha)
+	}
+	return lik, nil
+}
+
+// normalizeInPlace scales v to sum 1 and returns the pre-normalization
+// sum (floored away from zero, matching the batch forward scaling).
+func normalizeInPlace(v tensor.Vector) float64 {
+	c := v.Sum()
+	if c == 0 {
+		c = 1e-300
+	}
+	v.Scale(1 / c)
+	return c
 }
 
 // LogLikelihood returns the total log-probability of the session.

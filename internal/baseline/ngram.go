@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"misusedetect/internal/scorer"
 	"misusedetect/internal/tensor"
 )
 
@@ -98,11 +99,14 @@ func TrainNGram(sessions [][]int, vocab int, cfg NGramConfig) (*NGram, error) {
 
 func contextKey(ctx []int) string {
 	// Compact deterministic key; contexts are short (Order-1 <= ~4).
-	b := make([]byte, 0, len(ctx)*3)
+	return string(appendContextKey(make([]byte, 0, len(ctx)*3), ctx))
+}
+
+func appendContextKey(b []byte, ctx []int) []byte {
 	for _, a := range ctx {
 		b = append(b, byte(a), byte(a>>8), ',')
 	}
-	return string(b)
+	return b
 }
 
 // Prob returns the smoothed probability of the action following the
@@ -112,14 +116,22 @@ func (m *NGram) Prob(context []int, action int) (float64, error) {
 	if action < 0 || action >= m.vocab {
 		return 0, fmt.Errorf("baseline: action %d outside vocab %d", action, m.vocab)
 	}
+	p, _ := m.probReuse(context, action, nil)
+	return p, nil
+}
+
+// probReuse is Prob without validation or key allocations: keyBuf is
+// reused for the count lookups and the (possibly grown) buffer is
+// returned, so streaming callers stay allocation-free.
+func (m *NGram) probReuse(context []int, action int, keyBuf []byte) (float64, []byte) {
 	p := 1 / float64(m.vocab) // order-(-1): uniform backstop
 	maxK := m.cfg.Order - 1
 	if len(context) < maxK {
 		maxK = len(context)
 	}
 	for k := 0; k <= maxK; k++ {
-		ctx := context[len(context)-k:]
-		cc, ok := m.counts[k][contextKey(ctx)]
+		keyBuf = appendContextKey(keyBuf[:0], context[len(context)-k:])
+		cc, ok := m.counts[k][string(keyBuf)]
 		if !ok || cc.total == 0 {
 			continue
 		}
@@ -130,7 +142,121 @@ func (m *NGram) Prob(context []int, action int) (float64, error) {
 		lambda := d * distinct / cc.total
 		p = higher + lambda*p
 	}
-	return p, nil
+	return p, keyBuf
+}
+
+// BackendNGram is the scorer-registry tag of the n-gram model.
+const BackendNGram = "ngram"
+
+// NGram is a scorer.Scorer, so it can serve as a first-class online
+// detector backend in internal/core.
+var _ scorer.Scorer = (*NGram)(nil)
+
+// Backend returns the scorer-registry tag of this model family.
+func (m *NGram) Backend() string { return BackendNGram }
+
+// VocabSize returns the action-vocabulary size the model was trained on.
+func (m *NGram) VocabSize() int { return m.vocab }
+
+// ScoreSession computes the shared session-level normality measures by
+// streaming (the model has no faster batch path).
+func (m *NGram) ScoreSession(session []int) (scorer.Score, error) {
+	return scorer.ScoreStream(m, session)
+}
+
+// NewStream returns an incremental per-action scorer: it keeps the last
+// Order-1 actions as context and reuses its distribution and key
+// buffers, so steady-state streaming performs no per-action allocations.
+func (m *NGram) NewStream() scorer.Stream {
+	return &ngramStream{
+		m:    m,
+		ctx:  make([]int, 0, m.cfg.Order-1),
+		dist: tensor.NewVector(m.vocab),
+	}
+}
+
+// ngramStream is the online adapter over NGram: the same interpolated
+// smoothing as Prob, evaluated over the whole vocabulary each step so
+// the predictive distribution (and with it argmax accuracy) is
+// available to the monitor.
+type ngramStream struct {
+	m *NGram
+	// ctx holds the last Order-1 observed actions.
+	ctx []int
+	// dist is the prediction for the upcoming action, materialized only
+	// by Observe (ObserveLikelihood skips it); reused each step.
+	dist tensor.Vector
+	// keyBuf is the reusable context-key buffer for count lookups.
+	keyBuf []byte
+	seen   int
+}
+
+// Observe consumes the next action: the returned likelihood is exactly
+// Prob(prefix, action) (-1 for the first action, mirroring the LSTM
+// stream), and the returned distribution predicts the following action.
+// The distribution is a scratch buffer valid until the next Observe.
+func (s *ngramStream) Observe(action int) (float64, tensor.Vector, error) {
+	lik, err := s.ObserveLikelihood(action)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.keyBuf = s.m.nextDist(s.ctx, s.dist, s.keyBuf)
+	return lik, s.dist, nil
+}
+
+// ObserveLikelihood is the scorer.LikelihoodStream fast path: the same
+// stream advance as Observe, O(Order) instead of O(Order x vocab),
+// because no predictive distribution is materialized. This is what the
+// engine's monitor pays per (event, cluster).
+func (s *ngramStream) ObserveLikelihood(action int) (float64, error) {
+	if action < 0 || action >= s.m.vocab {
+		return 0, fmt.Errorf("baseline: ngram stream action %d outside vocab %d", action, s.m.vocab)
+	}
+	lik := -1.0
+	if s.seen > 0 {
+		lik, s.keyBuf = s.m.probReuse(s.ctx, action, s.keyBuf)
+	}
+	if s.m.cfg.Order > 1 {
+		if len(s.ctx) == s.m.cfg.Order-1 {
+			copy(s.ctx, s.ctx[1:])
+			s.ctx[len(s.ctx)-1] = action
+		} else {
+			s.ctx = append(s.ctx, action)
+		}
+	}
+	s.seen++
+	return lik, nil
+}
+
+// nextDist writes the smoothed next-action distribution for the context
+// into dist: the same order-by-order interpolation as Prob, vectorized
+// over the vocabulary. keyBuf is reused for the count lookups and the
+// (possibly grown) buffer is returned.
+func (m *NGram) nextDist(ctx []int, dist tensor.Vector, keyBuf []byte) []byte {
+	uniform := 1 / float64(m.vocab)
+	for i := range dist {
+		dist[i] = uniform
+	}
+	maxK := m.cfg.Order - 1
+	if len(ctx) < maxK {
+		maxK = len(ctx)
+	}
+	for k := 0; k <= maxK; k++ {
+		keyBuf = appendContextKey(keyBuf[:0], ctx[len(ctx)-k:])
+		cc, ok := m.counts[k][string(keyBuf)]
+		if !ok || cc.total == 0 {
+			continue
+		}
+		d := m.cfg.Discount
+		lambda := d * float64(len(cc.actions)) / cc.total
+		for i := range dist {
+			dist[i] *= lambda
+		}
+		for a, c := range cc.actions {
+			dist[a] += math.Max(c-d, 0) / cc.total
+		}
+	}
+	return keyBuf
 }
 
 // StepScores returns the probability of each observed action (positions

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"misusedetect/internal/scorer"
+	"misusedetect/internal/tensor"
+)
+
+// The classical backends register their loaders with the scorer
+// registry, so any model file written through scorer.Encode names the
+// code that reads it back.
+func init() {
+	scorer.Register(BackendNGram, func(r io.Reader) (scorer.Scorer, error) { return LoadNGram(r) })
+	scorer.Register(BackendHMM, func(r io.Reader) (scorer.Scorer, error) { return LoadHMM(r) })
+}
+
+// serializedContextCount is the gob wire form of one context's counts.
+type serializedContextCount struct {
+	Total   float64
+	Actions map[int]float64
+}
+
+// serializedNGram is the gob wire form of an NGram model.
+type serializedNGram struct {
+	Config NGramConfig
+	Vocab  int
+	Counts []map[string]serializedContextCount
+}
+
+// Save writes the n-gram model to w with gob.
+func (m *NGram) Save(w io.Writer) error {
+	s := serializedNGram{Config: m.cfg, Vocab: m.vocab, Counts: make([]map[string]serializedContextCount, len(m.counts))}
+	for k, byCtx := range m.counts {
+		s.Counts[k] = make(map[string]serializedContextCount, len(byCtx))
+		for key, cc := range byCtx {
+			s.Counts[k][key] = serializedContextCount{Total: cc.total, Actions: cc.actions}
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("baseline: save ngram: %w", err)
+	}
+	return nil
+}
+
+// LoadNGram reads a model written by Save.
+func LoadNGram(r io.Reader) (*NGram, error) {
+	var s serializedNGram
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("baseline: load ngram: %w", err)
+	}
+	if err := s.Config.validate(); err != nil {
+		return nil, fmt.Errorf("baseline: load ngram: %w", err)
+	}
+	if s.Vocab < 1 {
+		return nil, fmt.Errorf("baseline: load ngram: vocab %d < 1", s.Vocab)
+	}
+	if len(s.Counts) != s.Config.Order {
+		return nil, fmt.Errorf("baseline: load ngram: %d count tables for order %d", len(s.Counts), s.Config.Order)
+	}
+	m := &NGram{cfg: s.Config, vocab: s.Vocab, counts: make([]map[string]*contextCount, len(s.Counts))}
+	for k, byCtx := range s.Counts {
+		m.counts[k] = make(map[string]*contextCount, len(byCtx))
+		for key, cc := range byCtx {
+			if cc.Actions == nil {
+				return nil, fmt.Errorf("baseline: load ngram: order-%d context %q has no action counts", k, key)
+			}
+			for a := range cc.Actions {
+				if a < 0 || a >= s.Vocab {
+					return nil, fmt.Errorf("baseline: load ngram: counted action %d outside vocab %d", a, s.Vocab)
+				}
+			}
+			m.counts[k][key] = &contextCount{total: cc.Total, actions: cc.Actions}
+		}
+	}
+	return m, nil
+}
+
+// serializedHMM is the gob wire form of an HMM (row-major matrices).
+type serializedHMM struct {
+	States  int
+	Vocab   int
+	Initial []float64
+	Trans   []float64
+	Emit    []float64
+}
+
+// Save writes the HMM parameters to w with gob.
+func (m *HMM) Save(w io.Writer) error {
+	s := serializedHMM{
+		States:  m.states,
+		Vocab:   m.vocab,
+		Initial: m.initial,
+		Trans:   m.trans.Data,
+		Emit:    m.emit.Data,
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("baseline: save hmm: %w", err)
+	}
+	return nil
+}
+
+// LoadHMM reads a model written by Save.
+func LoadHMM(r io.Reader) (*HMM, error) {
+	var s serializedHMM
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("baseline: load hmm: %w", err)
+	}
+	if s.States < 1 || s.Vocab < 1 {
+		return nil, fmt.Errorf("baseline: load hmm: %d states over vocab %d", s.States, s.Vocab)
+	}
+	if len(s.Initial) != s.States || len(s.Trans) != s.States*s.States || len(s.Emit) != s.States*s.Vocab {
+		return nil, fmt.Errorf("baseline: load hmm: parameter sizes %d/%d/%d inconsistent with %d states x %d vocab",
+			len(s.Initial), len(s.Trans), len(s.Emit), s.States, s.Vocab)
+	}
+	m := &HMM{
+		states:  s.States,
+		vocab:   s.Vocab,
+		initial: s.Initial,
+		trans:   &tensor.Matrix{Rows: s.States, Cols: s.States, Data: s.Trans},
+		emit:    &tensor.Matrix{Rows: s.States, Cols: s.Vocab, Data: s.Emit},
+	}
+	return m, nil
+}

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"misusedetect/internal/baseline"
 	"misusedetect/internal/expert"
 	"misusedetect/internal/lda"
 	"misusedetect/internal/lm"
@@ -27,9 +28,19 @@ type Config struct {
 	OCSVM ocsvm.Config
 	// FeatureMode selects the OC-SVM session featurization.
 	FeatureMode ocsvm.FeatureMode
+	// Backend selects the per-cluster sequence-model family:
+	// lm.BackendLSTM (the paper's model, the default when empty),
+	// baseline.BackendNGram, or baseline.BackendHMM.
+	Backend string
 	// LM configures the per-cluster language models. Network.InputSize
 	// is overwritten with the vocabulary size at training time.
 	LM lm.Config
+	// NGram configures the per-cluster n-gram models when Backend is
+	// baseline.BackendNGram.
+	NGram baseline.NGramConfig
+	// HMM configures the per-cluster HMMs when Backend is
+	// baseline.BackendHMM.
+	HMM baseline.HMMConfig
 	// MinSessionLength filters out sessions too short to model (2 in
 	// the paper).
 	MinSessionLength int
@@ -49,7 +60,10 @@ func PaperConfig(vocab int, seed int64) Config {
 		Expert:           expert.DefaultOptions(seed + 1),
 		OCSVM:            ocsvm.DefaultConfig(seed + 2),
 		FeatureMode:      ocsvm.FeatureCounts,
+		Backend:          lm.BackendLSTM,
 		LM:               lm.PaperConfig(vocab, seed+3),
+		NGram:            baseline.DefaultNGramConfig(),
+		HMM:              baseline.DefaultHMMConfig(seed + 4),
 		MinSessionLength: 2,
 		RouteVoteActions: 15,
 		Seed:             seed,
@@ -68,12 +82,26 @@ func ScaledConfig(vocab, clusters, hidden, epochs int, seed int64) Config {
 	return cfg
 }
 
+// backend returns the configured backend tag, defaulting to the LSTM.
+func (c *Config) backend() string {
+	if c.Backend == "" {
+		return lm.BackendLSTM
+	}
+	return c.Backend
+}
+
 func (c *Config) validate() error {
 	if c.MinSessionLength < 2 {
 		return fmt.Errorf("core: MinSessionLength must be >= 2, got %d", c.MinSessionLength)
 	}
 	if c.RouteVoteActions < 1 {
 		return fmt.Errorf("core: RouteVoteActions must be >= 1, got %d", c.RouteVoteActions)
+	}
+	switch c.backend() {
+	case lm.BackendLSTM, baseline.BackendNGram, baseline.BackendHMM:
+	default:
+		return fmt.Errorf("core: unknown backend %q (want %q, %q, or %q)",
+			c.Backend, lm.BackendLSTM, baseline.BackendNGram, baseline.BackendHMM)
 	}
 	return nil
 }

@@ -6,19 +6,27 @@ import (
 	"sort"
 
 	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
 	"misusedetect/internal/lm"
 	"misusedetect/internal/nn"
 	"misusedetect/internal/ocsvm"
+	"misusedetect/internal/scorer"
 	"misusedetect/internal/tensor"
 )
 
 // ClusterModel is one behavior cluster's pair of models: the OC-SVM that
-// recognizes sessions of the cluster and the language model that scores
+// recognizes sessions of the cluster and the sequence model that scores
 // their normality.
 type ClusterModel struct {
 	// Router is the cluster's OC-SVM.
 	Router *ocsvm.Model
-	// LM is the cluster's LSTM language model.
+	// Model is the cluster's sequence model — LSTM, n-gram, or HMM,
+	// selected by Config.Backend. Every scoring path goes through this
+	// interface.
+	Model scorer.Scorer
+	// LM is the typed handle to Model when the backend is the LSTM
+	// (nil otherwise): the experiment harness uses its batch metrics
+	// (CorpusAccuracy, CorpusLoss) that the interface does not carry.
 	LM *lm.Model
 	// TrainSize is the number of training sessions, used for reporting
 	// (the paper orders clusters by size).
@@ -27,7 +35,7 @@ type ClusterModel struct {
 
 // Detector is the trained prediction-phase pipeline: it routes a new
 // session to its behavior cluster via the OC-SVM scores and scores its
-// normality with the routed cluster's language model.
+// normality with the routed cluster's sequence model.
 type Detector struct {
 	cfg        Config
 	vocab      *actionlog.Vocabulary
@@ -35,9 +43,11 @@ type Detector struct {
 	clusters   []ClusterModel
 }
 
-// TrainDetector fits one OC-SVM and one language model per cluster.
-// clusterTrain holds each cluster's training sessions. The optional
-// progress callback receives "cluster c, epoch stats" lines.
+// TrainDetector fits one OC-SVM and one sequence model (of the
+// configured backend) per cluster. clusterTrain holds each cluster's
+// training sessions. The optional progress callback receives
+// "cluster c, epoch stats" lines (LSTM backend only; the classical
+// backends train in one pass).
 func TrainDetector(cfg Config, vocab *actionlog.Vocabulary, clusterTrain [][]*actionlog.Session, progress func(cluster int, st nn.EpochStats)) (*Detector, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -45,6 +55,7 @@ func TrainDetector(cfg Config, vocab *actionlog.Vocabulary, clusterTrain [][]*ac
 	if len(clusterTrain) == 0 {
 		return nil, fmt.Errorf("core: no clusters to train on")
 	}
+	cfg.Backend = cfg.backend()
 	feat, err := ocsvm.NewFeaturizer(vocab.Size(), cfg.FeatureMode)
 	if err != nil {
 		return nil, fmt.Errorf("core: build featurizer: %w", err)
@@ -69,26 +80,58 @@ func TrainDetector(cfg Config, vocab *actionlog.Vocabulary, clusterTrain [][]*ac
 		if err != nil {
 			return nil, fmt.Errorf("core: train OC-SVM %d: %w", ci, err)
 		}
+		cm := ClusterModel{Router: router, TrainSize: len(filtered)}
+		if err := cm.train(&cfg, vocab, encoded, ci, progress); err != nil {
+			return nil, err
+		}
+		d.clusters = append(d.clusters, cm)
+	}
+	return d, nil
+}
+
+// train fits the cluster's sequence model with the configured backend,
+// offsetting seeds by the cluster index so clusters differ.
+func (cm *ClusterModel) train(cfg *Config, vocab *actionlog.Vocabulary, encoded [][]int, ci int, progress func(int, nn.EpochStats)) error {
+	switch cfg.Backend {
+	case lm.BackendLSTM:
 		lmCfg := cfg.LM
 		lmCfg.Network.InputSize = vocab.Size()
 		lmCfg.Network.Seed = cfg.LM.Network.Seed + int64(ci)
 		lmCfg.Trainer.Seed = cfg.LM.Trainer.Seed + int64(ci)
 		var cb func(nn.EpochStats)
 		if progress != nil {
-			ci := ci
 			cb = func(st nn.EpochStats) { progress(ci, st) }
 		}
 		model, err := lm.Train(lmCfg, encoded, cb)
 		if err != nil {
-			return nil, fmt.Errorf("core: train LM %d: %w", ci, err)
+			return fmt.Errorf("core: train LM %d: %w", ci, err)
 		}
-		d.clusters = append(d.clusters, ClusterModel{Router: router, LM: model, TrainSize: len(filtered)})
+		cm.Model, cm.LM = model, model
+	case baseline.BackendNGram:
+		model, err := baseline.TrainNGram(encoded, vocab.Size(), cfg.NGram)
+		if err != nil {
+			return fmt.Errorf("core: train ngram %d: %w", ci, err)
+		}
+		cm.Model = model
+	case baseline.BackendHMM:
+		hCfg := cfg.HMM
+		hCfg.Seed = cfg.HMM.Seed + int64(ci)
+		model, err := baseline.TrainHMM(encoded, vocab.Size(), hCfg)
+		if err != nil {
+			return fmt.Errorf("core: train hmm %d: %w", ci, err)
+		}
+		cm.Model = model
+	default:
+		return fmt.Errorf("core: unknown backend %q", cfg.Backend)
 	}
-	return d, nil
+	return nil
 }
 
 // Config returns the detector's configuration.
 func (d *Detector) Config() Config { return d.cfg }
+
+// Backend returns the detector's sequence-model backend tag.
+func (d *Detector) Backend() string { return d.cfg.backend() }
 
 // Vocabulary returns the detector's action vocabulary.
 func (d *Detector) Vocabulary() *actionlog.Vocabulary { return d.vocab }
@@ -179,8 +222,8 @@ type SessionReport struct {
 	Cluster int
 	// RouterScore is the routed cluster's OC-SVM decision value.
 	RouterScore float64
-	// Score holds the language-model normality measures.
-	Score lm.Score
+	// Score holds the sequence-model normality measures.
+	Score scorer.Score
 }
 
 // ScoreSession routes and scores one session end to end (prediction
@@ -201,7 +244,7 @@ func (d *Detector) ScoreSession(s *actionlog.Session) (SessionReport, error) {
 	if err != nil {
 		return SessionReport{}, err
 	}
-	sc, err := d.clusters[cluster].LM.ScoreSession(encoded)
+	sc, err := d.clusters[cluster].Model.ScoreSession(encoded)
 	if err != nil {
 		return SessionReport{}, fmt.Errorf("core: score session %s: %w", s.ID, err)
 	}
@@ -232,7 +275,7 @@ func (d *Detector) ScoreWeighted(s *actionlog.Session) (float64, error) {
 	tensor.Softmax(weights, routeScores)
 	var combined float64
 	for i := range d.clusters {
-		sc, err := d.clusters[i].LM.ScoreSession(encoded)
+		sc, err := d.clusters[i].Model.ScoreSession(encoded)
 		if err != nil {
 			return 0, err
 		}

@@ -17,14 +17,18 @@ type Alarm struct {
 	// Seq is the global submission sequence number of the event that
 	// raised the alarm; determinism mode orders the alarm stream by it.
 	// It is engine-internal and excluded from the wire format.
-	Seq        uint64    `json:"-"`
-	Time       time.Time `json:"time"`
-	SessionID  string    `json:"session_id"`
-	User       string    `json:"user"`
-	Kind       string    `json:"kind"`
-	Position   int       `json:"position"`
-	Cluster    int       `json:"cluster"`
-	Likelihood float64   `json:"likelihood"`
+	Seq       uint64    `json:"-"`
+	Time      time.Time `json:"time"`
+	SessionID string    `json:"session_id"`
+	User      string    `json:"user"`
+	Kind      string    `json:"kind"`
+	Position  int       `json:"position"`
+	Cluster   int       `json:"cluster"`
+	// ModelVersion is the registry generation that scored the session;
+	// all alarms of one session carry the same version (sessions are
+	// pinned to the generation they started on).
+	ModelVersion uint64  `json:"model_version"`
+	Likelihood   float64 `json:"likelihood"`
 }
 
 // EngineConfig tunes the sharded scoring engine.
@@ -84,6 +88,9 @@ func (c *EngineConfig) validate() error {
 // EngineStats is a point-in-time snapshot of the engine counters.
 type EngineStats struct {
 	Shards          int    `json:"shards"`
+	Backend         string `json:"backend"`
+	ModelVersion    uint64 `json:"model_version"`
+	Reloads         uint64 `json:"reloads"`
 	EventsSubmitted uint64 `json:"events_submitted"`
 	EventsProcessed uint64 `json:"events_processed"`
 	EventsInFlight  uint64 `json:"events_in_flight"`
@@ -104,8 +111,12 @@ type shardMsg struct {
 }
 
 // engineSession is one live session owned by exactly one shard goroutine.
+// The monitor references the detector of the registry generation that was
+// current when the session started; version records it for alarm
+// stamping. A model reload never touches existing sessions.
 type engineSession struct {
 	mon      *SessionMonitor
+	version  uint64
 	sink     chan<- Alarm
 	lastSeen time.Time
 }
@@ -128,7 +139,7 @@ type engineShard struct {
 // FIFO). Across sessions there is no ordering in streaming mode; in
 // deterministic mode DrainAlarms restores global submission order.
 type Engine struct {
-	det    *Detector
+	reg    *Registry
 	cfg    EngineConfig
 	shards []*engineShard
 	wg     sync.WaitGroup
@@ -152,13 +163,29 @@ type Engine struct {
 	detAlarms []Alarm
 }
 
-// NewEngine starts the shard goroutines over a trained detector.
+// NewEngine starts the shard goroutines over a trained detector,
+// wrapped in a fresh single-generation registry (version 1).
 func NewEngine(det *Detector, cfg EngineConfig) (*Engine, error) {
+	reg, err := NewRegistry(det)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineRegistry(reg, cfg)
+}
+
+// NewEngineRegistry starts the shard goroutines over a model registry:
+// every new session pins the registry generation current at its first
+// event, so Registry.Swap (or Engine.Reload) rolls new models out to
+// new sessions only — zero downtime, no mid-session weight mixing.
+func NewEngineRegistry(reg *Registry, cfg EngineConfig) (*Engine, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("core: engine: nil registry")
+	}
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{det: det, cfg: cfg}
+	e := &Engine{reg: reg, cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &engineShard{
 			e:        e,
@@ -174,6 +201,17 @@ func NewEngine(det *Detector, cfg EngineConfig) (*Engine, error) {
 
 // Config returns the engine configuration (with defaults applied).
 func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Registry returns the engine's model registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Reload atomically swaps in a new detector generation. In-flight
+// sessions keep scoring with the generation they started on; sessions
+// whose first event arrives after Reload use the new one. It returns
+// the installed generation.
+func (e *Engine) Reload(det *Detector, source string) (*ModelVersion, error) {
+	return e.reg.Swap(det, source)
+}
 
 // shardFor hashes a session ID onto its owning shard: inline FNV-1a so
 // the hot Submit path allocates nothing.
@@ -257,8 +295,14 @@ func (e *Engine) Stats() EngineStats {
 	if live < 0 {
 		live = 0
 	}
+	mv := e.reg.Current()
 	return EngineStats{
-		Shards:          len(e.shards),
+		Shards:       len(e.shards),
+		Backend:      mv.Det.Backend(),
+		ModelVersion: mv.Version,
+		// Derived from the version so swaps through Registry() directly
+		// (not just Engine.Reload) are counted too.
+		Reloads:         mv.Version - 1,
 		EventsSubmitted: submitted,
 		EventsProcessed: processed,
 		EventsInFlight:  submitted - processed,
@@ -367,7 +411,11 @@ func (s *engineShard) process(msg shardMsg) {
 	defer s.e.processed.Add(1)
 	sess, ok := s.sessions[msg.ev.SessionID]
 	if !ok {
-		mon, err := s.e.det.NewSessionMonitor(s.e.cfg.Monitor)
+		// Pin the session to the registry generation current at its
+		// first event: the monitor holds that generation's detector, so
+		// a concurrent Reload never changes the weights mid-session.
+		mv := s.e.reg.Current()
+		mon, err := mv.Det.NewSessionMonitor(s.e.cfg.Monitor)
 		if err != nil {
 			// Config was validated at NewEngine; failing here means the
 			// detector itself is unusable.
@@ -375,7 +423,7 @@ func (s *engineShard) process(msg shardMsg) {
 			s.e.logf("session %s: %v", msg.ev.SessionID, err)
 			return
 		}
-		sess = &engineSession{mon: mon}
+		sess = &engineSession{mon: mon, version: mv.Version}
 		s.sessions[msg.ev.SessionID] = sess
 		s.e.sessions.Add(1)
 	}
@@ -389,14 +437,15 @@ func (s *engineShard) process(msg shardMsg) {
 	}
 	for _, kind := range step.Alarms {
 		a := Alarm{
-			Seq:        msg.seq,
-			Time:       msg.ev.Time,
-			SessionID:  msg.ev.SessionID,
-			User:       msg.ev.User,
-			Kind:       kind.String(),
-			Position:   step.Position,
-			Cluster:    step.Cluster,
-			Likelihood: step.Smoothed,
+			Seq:          msg.seq,
+			Time:         msg.ev.Time,
+			SessionID:    msg.ev.SessionID,
+			User:         msg.ev.User,
+			Kind:         kind.String(),
+			Position:     step.Position,
+			Cluster:      step.Cluster,
+			ModelVersion: sess.version,
+			Likelihood:   step.Smoothed,
 		}
 		s.e.alarms.Add(1)
 		if s.e.cfg.Deterministic {
@@ -458,14 +507,18 @@ func (d *Detector) ReplaySerial(mcfg MonitorConfig, events []actionlog.Event) ([
 		}
 		for _, kind := range step.Alarms {
 			out = append(out, Alarm{
-				Seq:        seq,
-				Time:       ev.Time,
-				SessionID:  ev.SessionID,
-				User:       ev.User,
-				Kind:       kind.String(),
-				Position:   step.Position,
-				Cluster:    step.Cluster,
-				Likelihood: step.Smoothed,
+				Seq:       seq,
+				Time:      ev.Time,
+				SessionID: ev.SessionID,
+				User:      ev.User,
+				Kind:      kind.String(),
+				Position:  step.Position,
+				Cluster:   step.Cluster,
+				// The serial reference scores one fixed model set;
+				// version 1 matches a fresh engine registry, keeping
+				// the determinism comparison byte-identical.
+				ModelVersion: 1,
+				Likelihood:   step.Smoothed,
 			})
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
 	"misusedetect/internal/corpus"
 	"misusedetect/internal/logsim"
 )
@@ -46,11 +47,33 @@ func corpusDetector(t testing.TB) *Detector {
 	return corpusDet
 }
 
-// TestEngineDeterminismMatchesSerial is the tentpole's core guarantee: the
-// sharded engine's alarm stream over the embedded corpus is byte-identical
-// to the serial monitor's, for any shard count.
-func TestEngineDeterminismMatchesSerial(t *testing.T) {
-	det := corpusDetector(t)
+// trainCorpusNGram trains a 13-cluster ngram-backend detector on the
+// embedded corpus; counting-based training is cheap enough to run
+// per-test.
+func trainCorpusNGram(t testing.TB, seed int64) *Detector {
+	t.Helper()
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab, err := actionlog.NewVocabulary(logsim.ActionNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaledConfig(vocab.Size(), 13, 8, 2, seed)
+	cfg.Backend = baseline.BackendNGram
+	det, err := TrainDetector(cfg, vocab, c.ByCluster(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// engineDeterminismMatrix asserts the sharded engine's alarm stream over
+// the embedded corpus is byte-identical to the serial monitor's for
+// every shard count — the determinism anchor, per backend.
+func engineDeterminismMatrix(t *testing.T, det *Detector) {
+	t.Helper()
 	c, err := corpus.Load()
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +119,19 @@ func TestEngineDeterminismMatchesSerial(t *testing.T) {
 				shards, len(serial), len(got))
 		}
 	}
+}
+
+// TestEngineDeterminismMatchesSerial is the concurrency tentpole's core
+// guarantee for the default LSTM backend.
+func TestEngineDeterminismMatchesSerial(t *testing.T) {
+	engineDeterminismMatrix(t, corpusDetector(t))
+}
+
+// TestEngineDeterminismNGramBackend runs the same determinism anchor
+// with the ngram backend: the engine must be backend-agnostic down to
+// the byte-identical alarm stream.
+func TestEngineDeterminismNGramBackend(t *testing.T) {
+	engineDeterminismMatrix(t, trainCorpusNGram(t, 11))
 }
 
 // TestEngineAlarmsFlagAnomalies sanity-checks the labels: corpus anomalies
@@ -276,6 +312,133 @@ func TestEngineConcurrentSubmitters(t *testing.T) {
 	}
 	if st.ScoreErrors != 0 {
 		t.Fatalf("%d score errors on corpus traffic", st.ScoreErrors)
+	}
+}
+
+// TestEngineHotReloadPinsSessions is the hot-reload guarantee under
+// -race: model generations are swapped while sessions are in flight,
+// and (a) every session's alarms carry exactly one model version, (b)
+// sessions that started before a reload keep scoring on their pinned
+// generation even for events submitted after it, (c) sessions started
+// after a reload use the new generation, and (d) the engine counters
+// report the active version.
+func TestEngineHotReloadPinsSessions(t *testing.T) {
+	detV1 := trainCorpusNGram(t, 11)
+	detNext := trainCorpusNGram(t, 99)
+	c, err := corpus.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(detV1, EngineConfig{
+		Shards:        4,
+		QueueDepth:    64,
+		Monitor:       DefaultMonitorConfig(),
+		Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Per-feeder disjoint session sets, each session's events split into
+	// halves; the first half always holds the session-creating event.
+	sessions := c.ActionSessions()
+	const feeders = 4
+	var firstHalf, secondHalf [feeders][]actionlog.Event
+	for i := range sessions {
+		evs := actionlog.Flatten(sessions[i : i+1])
+		cut := (len(evs) + 1) / 2
+		f := i % feeders
+		firstHalf[f] = append(firstHalf[f], evs[:cut]...)
+		secondHalf[f] = append(secondHalf[f], evs[cut:]...)
+	}
+	submitWave := func(waves *[feeders][]actionlog.Event) {
+		var wg sync.WaitGroup
+		for f := 0; f < feeders; f++ {
+			wg.Add(1)
+			go func(evs []actionlog.Event) {
+				defer wg.Done()
+				for _, ev := range evs {
+					if err := eng.Submit(ctx, ev, nil); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(waves[f])
+		}
+		wg.Wait()
+	}
+
+	// Wave 1a: every corpus session starts on generation 1. Drain so
+	// each session-creating event is processed (sessions pin at their
+	// first *scored* event) before the generation changes.
+	submitWave(&firstHalf)
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Reload(detNext, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	// Wave 1b: the sessions' remaining events race with another reload;
+	// both must keep scoring on the pinned generation 1.
+	var reloadWG sync.WaitGroup
+	reloadWG.Add(1)
+	go func() {
+		defer reloadWG.Done()
+		if _, err := eng.Reload(detV1, "v3"); err != nil {
+			t.Error(err)
+		}
+	}()
+	submitWave(&secondHalf)
+	reloadWG.Wait()
+
+	// Wave 2: the same traffic under fresh session IDs starts strictly
+	// after both reloads, so it must score on generation 3.
+	var wave2 [feeders][]actionlog.Event
+	for f := 0; f < feeders; f++ {
+		for _, half := range []*[feeders][]actionlog.Event{&firstHalf, &secondHalf} {
+			for _, ev := range half[f] {
+				ev.SessionID = "r2-" + ev.SessionID
+				wave2[f] = append(wave2[f], ev)
+			}
+		}
+	}
+	submitWave(&wave2)
+
+	alarms, err := eng.DrainAlarms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVersion := map[uint64]int{}
+	perSession := map[string]uint64{}
+	for _, a := range alarms {
+		byVersion[a.ModelVersion]++
+		if v, seen := perSession[a.SessionID]; seen && v != a.ModelVersion {
+			t.Fatalf("session %s mixes model versions %d and %d", a.SessionID, v, a.ModelVersion)
+		}
+		perSession[a.SessionID] = a.ModelVersion
+		wantVersion := uint64(1)
+		if len(a.SessionID) >= 3 && a.SessionID[:3] == "r2-" {
+			wantVersion = 3
+		}
+		if a.ModelVersion != wantVersion {
+			t.Fatalf("session %s scored on version %d, want %d", a.SessionID, a.ModelVersion, wantVersion)
+		}
+	}
+	if byVersion[1] == 0 || byVersion[3] == 0 {
+		t.Fatalf("want alarms from generations 1 and 3, got %v", byVersion)
+	}
+	st := eng.Stats()
+	if st.ModelVersion != 3 {
+		t.Fatalf("stats report model version %d, want 3", st.ModelVersion)
+	}
+	if st.Reloads != 2 {
+		t.Fatalf("stats report %d reloads, want 2", st.Reloads)
+	}
+	if st.Backend != baseline.BackendNGram {
+		t.Fatalf("stats report backend %q", st.Backend)
 	}
 }
 

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"misusedetect/internal/nn"
 	"misusedetect/internal/ocsvm"
-	"misusedetect/internal/tensor"
+	"misusedetect/internal/scorer"
 )
 
 // MonitorConfig tunes the online alarm logic. The paper's use case: "as
@@ -97,21 +96,20 @@ type MonitorStep struct {
 }
 
 // SessionMonitor scores one session in real time, action by action. It
-// keeps a language-model stream per cluster so the routed cluster can
-// change mid-vote without re-reading the session, and freezes the route
-// after RouteVoteActions actions per the paper's online rule.
+// keeps a sequence-model stream per cluster (whatever the detector's
+// backend) so the routed cluster can change mid-vote without re-reading
+// the session, and freezes the route after RouteVoteActions actions per
+// the paper's online rule.
 type SessionMonitor struct {
 	d        *Detector
 	mcfg     MonitorConfig
 	features *ocsvm.PrefixStream
-	streams  []*nn.StreamState
+	streams  []scorer.Stream
 	votes    []int
 	cluster  int
 	position int
 	smoothed float64
 	recent   []float64
-	// probs[c] is cluster c's prediction for the upcoming action.
-	probs []tensor.Vector
 }
 
 // NewSessionMonitor starts monitoring one session.
@@ -124,15 +122,10 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 		mcfg:     mcfg,
 		features: d.featurizer.Stream(),
 		votes:    make([]int, len(d.clusters)),
-		probs:    make([]tensor.Vector, len(d.clusters)),
 		smoothed: -1,
 	}
 	for i := range d.clusters {
-		// Preallocated streams: probs[i] aliases stream i's scratch
-		// buffer, which is safe because Observe reads the stored
-		// prediction for an action before advancing the stream that
-		// overwrites it.
-		m.streams = append(m.streams, d.clusters[i].LM.StreamPrealloc())
+		m.streams = append(m.streams, d.clusters[i].Model.NewStream())
 	}
 	return m, nil
 }
@@ -175,18 +168,19 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 		m.cluster = bestC
 	}
 
-	// Advance every cluster's language-model stream; read the selected
-	// cluster's likelihood for the observed action.
+	// Advance every cluster's stream (so a mid-vote route change has
+	// full history); keep the selected cluster's likelihood for the
+	// observed action. The likelihood-only path spares the classical
+	// backends the predictive distribution the monitor never reads.
 	likelihood := -1.0
 	for i, st := range m.streams {
-		if m.probs[i] != nil && i == m.cluster {
-			likelihood = m.probs[i][action]
-		}
-		_, next, err := st.Observe(action)
+		lik, err := scorer.ObserveLikelihood(st, action)
 		if err != nil {
 			return MonitorStep{}, err
 		}
-		m.probs[i] = next
+		if i == m.cluster {
+			likelihood = lik
+		}
 	}
 
 	step := MonitorStep{

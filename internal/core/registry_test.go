@@ -1,0 +1,103 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"misusedetect/internal/baseline"
+)
+
+// smallNGramDetector trains a fast two-cluster ngram detector.
+func smallNGramDetector(t *testing.T) *Detector {
+	t.Helper()
+	vocab, sessions := testCorpus(t, 20)
+	clusters, err := GroundTruthClustering(sessions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(vocab.Size())
+	cfg.Backend = baseline.BackendNGram
+	d, err := TrainDetector(cfg, vocab, clusters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	detA := smallNGramDetector(t)
+	detB := smallNGramDetector(t)
+
+	reg, err := NewRegistry(detA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := reg.Current()
+	if mv.Version != 1 || mv.Det != detA || mv.Source != "initial" {
+		t.Fatalf("initial generation = %+v", mv)
+	}
+	next, err := reg.Swap(detB, "retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != 2 || next.Det != detB || next.Source != "retrain" {
+		t.Fatalf("swapped generation = %+v", next)
+	}
+	if reg.Current() != next {
+		t.Fatal("Current does not return the swapped generation")
+	}
+	// The old generation object stays intact for pinned sessions.
+	if mv.Version != 1 || mv.Det != detA {
+		t.Fatal("swap mutated the previous generation")
+	}
+}
+
+func TestRegistryRejectsBadGenerations(t *testing.T) {
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("nil detector must fail")
+	}
+	if _, err := NewRegistry(&Detector{}); err == nil {
+		t.Fatal("clusterless detector must fail")
+	}
+	reg, err := NewRegistry(smallNGramDetector(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Swap(nil, "x"); err == nil {
+		t.Fatal("nil swap must fail")
+	}
+	if reg.Current().Version != 1 {
+		t.Fatal("failed swap must not advance the version")
+	}
+	if _, err := NewEngineRegistry(nil, EngineConfig{Monitor: DefaultMonitorConfig()}); err == nil {
+		t.Fatal("nil registry must fail")
+	}
+}
+
+func TestRegistryLoadFrom(t *testing.T) {
+	det := smallNGramDetector(t)
+	dir := filepath.Join(t.TempDir(), "model")
+	if err := det.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := reg.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Version != 2 || mv.Source != dir {
+		t.Fatalf("loaded generation = %+v", mv)
+	}
+	if mv.Det.Backend() != baseline.BackendNGram {
+		t.Fatalf("loaded backend %q", mv.Det.Backend())
+	}
+	if _, err := reg.LoadFrom(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	if reg.Current().Version != 2 {
+		t.Fatal("failed LoadFrom must not advance the version")
+	}
+}

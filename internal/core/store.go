@@ -9,10 +9,18 @@ import (
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/lm"
 	"misusedetect/internal/ocsvm"
+	"misusedetect/internal/scorer"
 )
+
+// storeFormatVersion is the model-directory layout version. Version 2
+// introduced the backend-tagged scorer envelope (cluster-NN-model.bin)
+// in place of the LSTM-only gob files.
+const storeFormatVersion = 2
 
 // storeManifest is the on-disk description of a saved detector.
 type storeManifest struct {
+	FormatVersion    int               `json:"format_version"`
+	Backend          string            `json:"backend"`
 	Actions          []string          `json:"actions"`
 	ClusterSizes     []int             `json:"cluster_sizes"`
 	FeatureMode      ocsvm.FeatureMode `json:"feature_mode"`
@@ -20,13 +28,24 @@ type storeManifest struct {
 	RouteVoteActions int               `json:"route_vote_actions"`
 }
 
-// Save writes the detector to a directory: a JSON manifest plus one gob
-// file per cluster model pair. The directory is created if needed.
+func routerPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("cluster-%02d-router.gob", i))
+}
+
+func modelPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("cluster-%02d-model.bin", i))
+}
+
+// Save writes the detector to a directory: a JSON manifest plus, per
+// cluster, a gob OC-SVM file and a backend-tagged scorer envelope. The
+// directory is created if needed.
 func (d *Detector) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: create model dir: %w", err)
 	}
 	man := storeManifest{
+		FormatVersion:    storeFormatVersion,
+		Backend:          d.Backend(),
 		Actions:          d.vocab.Actions(),
 		FeatureMode:      d.cfg.FeatureMode,
 		MinSessionLength: d.cfg.MinSessionLength,
@@ -51,7 +70,7 @@ func (d *Detector) Save(dir string) error {
 }
 
 func saveCluster(dir string, i int, c *ClusterModel) error {
-	rf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster-%02d-router.gob", i)))
+	rf, err := os.Create(routerPath(dir, i))
 	if err != nil {
 		return fmt.Errorf("core: create router file: %w", err)
 	}
@@ -59,19 +78,22 @@ func saveCluster(dir string, i int, c *ClusterModel) error {
 	if err := c.Router.Save(rf); err != nil {
 		return fmt.Errorf("core: save router %d: %w", i, err)
 	}
-	lf, err := os.Create(filepath.Join(dir, fmt.Sprintf("cluster-%02d-lm.gob", i)))
+	mf, err := os.Create(modelPath(dir, i))
 	if err != nil {
-		return fmt.Errorf("core: create lm file: %w", err)
+		return fmt.Errorf("core: create model file: %w", err)
 	}
-	defer lf.Close()
-	if err := c.LM.Save(lf); err != nil {
-		return fmt.Errorf("core: save lm %d: %w", i, err)
+	defer mf.Close()
+	if err := scorer.Encode(mf, c.Model); err != nil {
+		return fmt.Errorf("core: save model %d: %w", i, err)
 	}
 	return nil
 }
 
-// LoadDetector reads a detector saved by Save. The loaded detector scores
-// and monitors; it cannot be trained further.
+// LoadDetector reads a detector saved by Save. The loaded detector
+// scores and monitors; it cannot be trained further. Every cluster model
+// is decoded through the backend-tagged scorer envelope, so a directory
+// written by an unknown backend or an incompatible format version fails
+// with a descriptive error instead of mis-decoding.
 func LoadDetector(dir string) (*Detector, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
@@ -81,6 +103,10 @@ func LoadDetector(dir string) (*Detector, error) {
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("core: parse manifest: %w", err)
 	}
+	if man.FormatVersion != storeFormatVersion {
+		return nil, fmt.Errorf("core: model directory has format version %d; this build reads version %d (retrain or convert the model)",
+			man.FormatVersion, storeFormatVersion)
+	}
 	vocab, err := actionlog.NewVocabulary(man.Actions)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild vocabulary: %w", err)
@@ -89,8 +115,15 @@ func LoadDetector(dir string) (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild featurizer: %w", err)
 	}
+	if man.Backend == "" {
+		man.Backend = lm.BackendLSTM
+	}
 	cfg := PaperConfig(vocab.Size(), 0)
 	cfg.FeatureMode = man.FeatureMode
+	cfg.Backend = man.Backend
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("core: manifest: %w", err)
+	}
 	if man.MinSessionLength >= 2 {
 		cfg.MinSessionLength = man.MinSessionLength
 	}
@@ -99,32 +132,46 @@ func LoadDetector(dir string) (*Detector, error) {
 	}
 	d := &Detector{cfg: cfg, vocab: vocab, featurizer: feat}
 	for i := range man.ClusterSizes {
-		rf, err := os.Open(filepath.Join(dir, fmt.Sprintf("cluster-%02d-router.gob", i)))
+		cm, err := loadCluster(dir, i, &man, vocab.Size())
 		if err != nil {
-			return nil, fmt.Errorf("core: open router %d: %w", i, err)
+			return nil, err
 		}
-		router, err := ocsvm.Load(rf)
-		rf.Close()
-		if err != nil {
-			return nil, fmt.Errorf("core: load router %d: %w", i, err)
-		}
-		lf, err := os.Open(filepath.Join(dir, fmt.Sprintf("cluster-%02d-lm.gob", i)))
-		if err != nil {
-			return nil, fmt.Errorf("core: open lm %d: %w", i, err)
-		}
-		model, err := lm.Load(lf)
-		lf.Close()
-		if err != nil {
-			return nil, fmt.Errorf("core: load lm %d: %w", i, err)
-		}
-		d.clusters = append(d.clusters, ClusterModel{
-			Router:    router,
-			LM:        model,
-			TrainSize: man.ClusterSizes[i],
-		})
+		d.clusters = append(d.clusters, cm)
 	}
 	if len(d.clusters) == 0 {
 		return nil, fmt.Errorf("core: saved detector has no clusters")
 	}
 	return d, nil
+}
+
+func loadCluster(dir string, i int, man *storeManifest, vocabSize int) (ClusterModel, error) {
+	rf, err := os.Open(routerPath(dir, i))
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: open router %d: %w", i, err)
+	}
+	router, err := ocsvm.Load(rf)
+	rf.Close()
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: load router %d: %w", i, err)
+	}
+	mf, err := os.Open(modelPath(dir, i))
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: open model %d: %w", i, err)
+	}
+	model, err := scorer.Decode(mf)
+	mf.Close()
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: load model %d: %w", i, err)
+	}
+	if got := model.Backend(); got != man.Backend {
+		return ClusterModel{}, fmt.Errorf("core: cluster %d model has backend %q, manifest says %q", i, got, man.Backend)
+	}
+	if got := model.VocabSize(); got != vocabSize {
+		return ClusterModel{}, fmt.Errorf("core: cluster %d model vocabulary %d does not match manifest vocabulary %d", i, got, vocabSize)
+	}
+	cm := ClusterModel{Router: router, Model: model, TrainSize: man.ClusterSizes[i]}
+	if lmModel, ok := model.(*lm.Model); ok {
+		cm.LM = lmModel
+	}
+	return cm, nil
 }

@@ -12,8 +12,25 @@ import (
 	"math"
 
 	"misusedetect/internal/nn"
+	"misusedetect/internal/scorer"
 	"misusedetect/internal/tensor"
 )
+
+// BackendLSTM is the scorer-registry tag of the LSTM language model.
+const BackendLSTM = "lstm"
+
+// Model is a scorer.Scorer: the serving stack in internal/core scores
+// any backend through that interface, the LSTM being the default. The
+// stream assertion pins the seam from this side, so nn never has to
+// import the serving contract.
+var (
+	_ scorer.Scorer = (*Model)(nil)
+	_ scorer.Stream = (*nn.StreamState)(nil)
+)
+
+func init() {
+	scorer.Register(BackendLSTM, func(r io.Reader) (scorer.Scorer, error) { return Load(r) })
+}
 
 // Config bundles network and trainer settings.
 type Config struct {
@@ -67,8 +84,15 @@ func Train(cfg Config, sessions [][]int, progress func(nn.EpochStats)) (*Model, 
 // New wraps an existing network as a model (used by tests and loading).
 func New(net *nn.LanguageNetwork) *Model { return &Model{net: net} }
 
+// Backend returns the scorer-registry tag of this model family.
+func (m *Model) Backend() string { return BackendLSTM }
+
 // VocabSize returns the action-vocabulary size of the model.
 func (m *Model) VocabSize() int { return m.net.Config().InputSize }
+
+// NewStream returns the model's scorer.Stream: the preallocated-scratch
+// variant, so engine scoring stays allocation-free per action.
+func (m *Model) NewStream() scorer.Stream { return m.StreamPrealloc() }
 
 // Save writes the model to w.
 func (m *Model) Save(w io.Writer) error { return m.net.Save(w) }
@@ -105,22 +129,12 @@ func (m *Model) StepScores(session []int) (tensor.Vector, error) {
 	return out, nil
 }
 
-// Score is the paper's set of session-level normality measures.
-type Score struct {
-	// AvgLikelihood is the mean probability of the observed actions
-	// (the paper's primary normality measure; high = normal).
-	AvgLikelihood float64
-	// AvgLoss is the mean cross-entropy per action (Kim et al.'s
-	// measure; low = normal).
-	AvgLoss float64
-	// Perplexity is exp(AvgLoss) (the paper's future-work measure).
-	Perplexity float64
-	// Accuracy is the fraction of actions that were the model's argmax
-	// prediction.
-	Accuracy float64
-	// Steps is the number of scored positions.
-	Steps int
-}
+// Score is the paper's set of session-level normality measures: the
+// average likelihood of the observed actions (the paper's primary
+// measure), Kim et al.'s average cross-entropy loss, perplexity (the
+// paper's future-work measure), and argmax accuracy. It is the shared
+// scorer.Score, so every backend reports in the same units.
+type Score = scorer.Score
 
 // ScoreSession computes all normality measures for one session.
 func (m *Model) ScoreSession(session []int) (Score, error) {

@@ -128,7 +128,11 @@ func (n *LanguageNetwork) PredictNext(context []int) (tensor.Vector, error) {
 
 // StreamState is the incremental scorer used by the online monitor: it
 // consumes one action at a time, returning the probability the model
-// assigned to that action before consuming it.
+// assigned to that action before consuming it. Its Observe signature
+// deliberately matches the scorer.Stream contract — the neural network
+// side of the pluggable backend seam — so lm can hand it to
+// internal/core unwrapped (lm asserts the conformance; nn stays below
+// the seam and does not import it).
 type StreamState struct {
 	net   *LanguageNetwork
 	state *State

@@ -1,0 +1,93 @@
+package scorer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The envelope is a small self-describing header in front of a backend's
+// own payload encoding:
+//
+//	offset  size  field
+//	0       4     magic "MDSC" (misuse-detect scorer)
+//	4       2     format version, big endian
+//	6       2     backend tag length, big endian
+//	8       n     backend tag (UTF-8)
+//	8+n     ...   backend payload (typically gob)
+//
+// Decode dispatches on the tag through the loader registry, so a saved
+// model file names the code that can read it and loading a file written
+// by an unknown or future backend fails loudly instead of mis-decoding.
+
+// Magic identifies a scorer envelope; exported so store tests can craft
+// malformed files without duplicating unexplained byte literals.
+const Magic = "MDSC"
+
+// FormatVersion is the envelope layout version this build reads and
+// writes.
+const FormatVersion = 1
+
+// maxTagLen bounds the backend tag so a corrupted length field cannot
+// force a huge read.
+const maxTagLen = 128
+
+// Encode writes s as a self-describing envelope: header with the
+// backend tag, then the backend payload.
+func Encode(w io.Writer, s Scorer) error {
+	tag := s.Backend()
+	if tag == "" || len(tag) > maxTagLen {
+		return fmt.Errorf("scorer: encode: invalid backend tag %q", tag)
+	}
+	header := make([]byte, 0, 8+len(tag))
+	header = append(header, Magic...)
+	header = binary.BigEndian.AppendUint16(header, FormatVersion)
+	header = binary.BigEndian.AppendUint16(header, uint16(len(tag)))
+	header = append(header, tag...)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("scorer: encode envelope header: %w", err)
+	}
+	if err := s.Save(w); err != nil {
+		return fmt.Errorf("scorer: encode %s payload: %w", tag, err)
+	}
+	return nil
+}
+
+// Decode reads an envelope written by Encode and loads the payload with
+// the registered loader for its backend tag. Corruption, an unsupported
+// envelope version, and an unregistered backend all fail with distinct,
+// descriptive errors.
+func Decode(r io.Reader) (Scorer, error) {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("scorer: decode: file truncated or corrupted (short envelope header): %w", err)
+	}
+	if string(fixed[:4]) != Magic {
+		return nil, fmt.Errorf("scorer: decode: bad magic %q, want %q (not a scorer model file, or corrupted)", fixed[:4], Magic)
+	}
+	version := binary.BigEndian.Uint16(fixed[4:6])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("scorer: decode: envelope format version %d, this build reads version %d", version, FormatVersion)
+	}
+	tagLen := binary.BigEndian.Uint16(fixed[6:8])
+	if tagLen == 0 || tagLen > maxTagLen {
+		return nil, fmt.Errorf("scorer: decode: backend tag length %d outside [1,%d] (corrupted header)", tagLen, maxTagLen)
+	}
+	tag := make([]byte, tagLen)
+	if _, err := io.ReadFull(r, tag); err != nil {
+		return nil, fmt.Errorf("scorer: decode: file truncated reading backend tag: %w", err)
+	}
+	load, ok := lookup(string(tag))
+	if !ok {
+		return nil, fmt.Errorf("scorer: decode: unknown backend %q (registered: %s)", tag, strings.Join(Backends(), ", "))
+	}
+	s, err := load(r)
+	if err != nil {
+		return nil, fmt.Errorf("scorer: decode %s payload: %w", tag, err)
+	}
+	if got := s.Backend(); got != string(tag) {
+		return nil, fmt.Errorf("scorer: decode: loader for %q produced backend %q", tag, got)
+	}
+	return s, nil
+}
