@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzServerLine fuzzes the daemon's wire-protocol line parser: whatever
+// a client sends, parseInbound must return without panicking and must
+// uphold the dispatch invariant the read loop relies on — a nil error
+// yields either a control command or a submittable event, never both and
+// never neither, with every accepted string field bounded.
+func FuzzServerLine(f *testing.F) {
+	f.Add([]byte(`{"cmd":"status"}`))
+	f.Add([]byte(`{"cmd":"reload"}`))
+	f.Add([]byte(`{"time":"2019-03-01T10:00:00Z","user":"alice","session_id":"s-1","action":"ActionSearchUsr"}`))
+	f.Add([]byte(`{"session_id":"s","action":"a","cmd":""}`))
+	f.Add([]byte(`{"action":""}`))
+	f.Add([]byte(`{not json}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"time":"not-a-time","session_id":"s","action":"a"}`))
+	f.Add([]byte(`{"cmd":"` + strings.Repeat("x", 2000) + `"}`))
+	f.Add([]byte(`{"session_id":"` + strings.Repeat("s", 2000) + `","action":"a"}`))
+	f.Add([]byte("{\"session_id\":\"s\",\"action\":\"a\",\"user\":\"\x00\uffff\"}"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		cmd, ev, err := parseInbound(line)
+		if err != nil {
+			if cmd != "" || ev.SessionID != "" || ev.Action != "" {
+				t.Fatalf("error path leaked values: cmd=%q ev=%+v", cmd, ev)
+			}
+			return
+		}
+		isCmd := cmd != ""
+		isEvent := ev.SessionID != "" && ev.Action != ""
+		if isCmd == isEvent {
+			t.Fatalf("accepted line is neither exactly a command nor exactly an event: cmd=%q ev=%+v line=%q", cmd, ev, line)
+		}
+		for _, s := range []string{cmd, ev.SessionID, ev.User, ev.Action} {
+			if len(s) > maxFieldLen {
+				t.Fatalf("accepted field of length %d exceeds bound %d", len(s), maxFieldLen)
+			}
+		}
+	})
+}
+
+// TestParseInboundFieldBounds pins the protocol-hardening bounds the
+// fuzz target asserts: oversized identifiers are rejected before they
+// can become engine session-map keys.
+func TestParseInboundFieldBounds(t *testing.T) {
+	big := strings.Repeat("x", maxFieldLen+1)
+	ok := strings.Repeat("x", maxFieldLen)
+	if _, _, err := parseInbound([]byte(`{"session_id":"` + big + `","action":"a"}`)); err == nil {
+		t.Fatal("oversized session_id must fail")
+	}
+	if _, _, err := parseInbound([]byte(`{"session_id":"s","action":"` + big + `"}`)); err == nil {
+		t.Fatal("oversized action must fail")
+	}
+	if _, _, err := parseInbound([]byte(`{"session_id":"s","action":"a","user":"` + big + `"}`)); err == nil {
+		t.Fatal("oversized user must fail")
+	}
+	if _, _, err := parseInbound([]byte(`{"cmd":"` + big + `"}`)); err == nil {
+		t.Fatal("oversized command must fail")
+	}
+	cmd, ev, err := parseInbound([]byte(`{"session_id":"` + ok + `","action":"a","user":"u"}`))
+	if err != nil || cmd != "" || ev.SessionID != ok {
+		t.Fatalf("boundary-length session_id rejected: %q %+v %v", cmd, ev, err)
+	}
+	// A command line with event fields is a command; the event part is
+	// ignored rather than double-dispatched.
+	cmd, ev, err = parseInbound([]byte(`{"cmd":"status","session_id":"s","action":"a"}`))
+	if err != nil || cmd != "status" || ev.SessionID != "" {
+		t.Fatalf("command with event fields: %q %+v %v", cmd, ev, err)
+	}
+	if _, _, err := parseInbound([]byte(`{"user":"u"}`)); err == nil {
+		t.Fatal("event without session_id/action must fail")
+	}
+	// Timestamps pass through untouched.
+	_, ev, err = parseInbound([]byte(`{"time":"2019-03-01T10:00:00Z","session_id":"s","action":"a"}`))
+	if err != nil || !ev.Time.Equal(time.Date(2019, 3, 1, 10, 0, 0, 0, time.UTC)) {
+		t.Fatalf("timestamp mangled: %+v %v", ev, err)
+	}
+}

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	misused -model ./model [-listen :7074] [-idle 30m] [-shards 4] [-queue 256]
+//	misused -model ./model [-listen :7074] [-idle 30m] [-shards 4] [-queue 256] [-monitor thresholds.json]
 //
 // Scoring runs on a sharded concurrent engine (see internal/core.Engine
 // and ARCHITECTURE.md): session IDs are hashed onto -shards independent
@@ -49,19 +49,28 @@ func main() {
 	idle := fs.Duration("idle", 30*time.Minute, "session idle expiry")
 	shards := fs.Int("shards", 0, "scoring engine shard count (0 = default)")
 	queue := fs.Int("queue", 0, "per-shard event queue depth (0 = default)")
+	monitorPath := fs.String("monitor", "", "calibrated monitor-threshold fragment (JSON, from misusectl eval -thresholds); empty uses defaults")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(*modelDir, *listen, *idle, *shards, *queue); err != nil {
+	if err := run(*modelDir, *listen, *monitorPath, *idle, *shards, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "misused:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelDir, listen string, idle time.Duration, shards, queue int) error {
+func run(modelDir, listen, monitorPath string, idle time.Duration, shards, queue int) error {
 	det, err := core.LoadDetector(modelDir)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
+	}
+	monitor := core.DefaultMonitorConfig()
+	if monitorPath != "" {
+		if monitor, err = core.LoadMonitorConfig(monitorPath); err != nil {
+			return fmt.Errorf("load monitor thresholds: %w", err)
+		}
+		fmt.Printf("loaded calibrated thresholds from %s (global floor %.5f, %d cluster floors)\n",
+			monitorPath, monitor.LikelihoodFloor, len(monitor.ClusterFloors))
 	}
 	srv, err := NewServer(det, ServerConfig{
 		Listen:     listen,
@@ -69,7 +78,7 @@ func run(modelDir, listen string, idle time.Duration, shards, queue int) error {
 		IdleExpiry: idle,
 		Shards:     shards,
 		QueueDepth: queue,
-		Monitor:    core.DefaultMonitorConfig(),
+		Monitor:    monitor,
 		Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {

@@ -74,6 +74,41 @@ type inboundLine struct {
 	actionlog.Event
 }
 
+// maxFieldLen bounds the string fields of one inbound event. Session IDs
+// key the engine's per-shard session maps and user/action strings ride on
+// every event and alarm, so a client pushing megabyte identifiers (the
+// scanner admits lines up to 1 MiB) would bloat session state far beyond
+// what any legitimate log shipper emits.
+const maxFieldLen = 1024
+
+// parseInbound decodes and validates one client line. It returns either
+// a non-empty control command, or an event with non-empty session ID and
+// action; anything else is an error. Lines that carry a "cmd" field are
+// commands — any event fields beside it are ignored.
+func parseInbound(line []byte) (cmd string, ev actionlog.Event, err error) {
+	var in inboundLine
+	if err := json.Unmarshal(line, &in); err != nil {
+		return "", actionlog.Event{}, fmt.Errorf("misused: bad line: %w", err)
+	}
+	if in.Cmd != "" {
+		if len(in.Cmd) > maxFieldLen {
+			return "", actionlog.Event{}, fmt.Errorf("misused: command length %d exceeds %d", len(in.Cmd), maxFieldLen)
+		}
+		return in.Cmd, actionlog.Event{}, nil
+	}
+	if in.SessionID == "" || in.Action == "" {
+		return "", actionlog.Event{}, fmt.Errorf("misused: event missing session_id or action")
+	}
+	for _, f := range []struct{ name, val string }{
+		{"session_id", in.SessionID}, {"user", in.User}, {"action", in.Action},
+	} {
+		if len(f.val) > maxFieldLen {
+			return "", actionlog.Event{}, fmt.Errorf("misused: event %s length %d exceeds %d", f.name, len(f.val), maxFieldLen)
+		}
+	}
+	return "", in.Event, nil
+}
+
 // Server is the TCP ingestion daemon: connections are thin decoders that
 // submit events to the sharded scoring engine and stream back the alarms
 // raised for the sessions they carry.
@@ -215,17 +250,17 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var in inboundLine
-		if err := json.Unmarshal(line, &in); err != nil {
+		cmd, ev, err := parseInbound(line)
+		if err != nil {
 			s.logf("bad event from %s: %v", conn.RemoteAddr(), err)
 			continue
 		}
-		if in.Cmd != "" {
-			s.handleCommand(in.Cmd, enc, &writeMu, conn)
+		if cmd != "" {
+			s.handleCommand(cmd, enc, &writeMu, conn)
 			continue
 		}
-		if err := s.engine.Submit(ctx, in.Event, alarms); err != nil {
-			s.logf("session %s: %v", in.SessionID, err)
+		if err := s.engine.Submit(ctx, ev, alarms); err != nil {
+			s.logf("session %s: %v", ev.SessionID, err)
 			continue
 		}
 	}

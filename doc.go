@@ -33,11 +33,26 @@
 // (misusectl reload), with the active backend and model version in the
 // status counters.
 //
+// The end-to-end evaluation and load harness (internal/harness) replays
+// labeled traffic — the embedded corpus or fresh simulator runs with
+// injected misuse — through the serving stack in-process and at the
+// wire level against a live daemon, reporting AUC, TPR at an FPR
+// budget, precision/recall, and time-to-detection per backend and per
+// cluster. It calibrates per-cluster alarm floors from a false-positive
+// budget on held-out normal sessions and writes them as a JSON fragment
+// the daemon loads with -monitor. `misusectl eval` runs an evaluation
+// (add -addr to measure a live daemon; -thresholds to emit the
+// calibrated fragment; -min-auc as a CI gate), `misusectl bench`
+// measures serving latency percentiles (p50/p95/p99 ingest and
+// per-action scoring) and events/sec across backends and shard counts,
+// in-process or against a live daemon with -addr.
+//
 // Entry points:
 //
 //   - internal/core: the full pipeline (training, scoring, online
 //     monitoring, the sharded engine, model persistence)
 //   - internal/corpus: the embedded labeled evaluation corpus
+//   - internal/harness: end-to-end evaluation and load benching
 //   - internal/experiments: regenerates every figure of the paper
 //   - cmd/misusectl: command-line interface (including `status` against
 //     a running daemon)

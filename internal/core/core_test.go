@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -411,6 +412,149 @@ func TestTrainDetectorValidation(t *testing.T) {
 	empty := [][]*actionlog.Session{{}}
 	if _, err := TrainDetector(cfg, vocab, empty, nil); err == nil {
 		t.Fatal("empty cluster must fail")
+	}
+}
+
+func TestCalibrateMonitorPerCluster(t *testing.T) {
+	d, _, sessions := trainedDetector(t)
+	cfg, err := d.CalibrateMonitorPerCluster(DefaultMonitorConfig(), sessions, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.ClusterFloors) != d.ClusterCount() {
+		t.Fatalf("got %d cluster floors for %d clusters", len(cfg.ClusterFloors), d.ClusterCount())
+	}
+	for c, f := range cfg.ClusterFloors {
+		if f <= 0 || f >= 1 {
+			t.Fatalf("cluster %d floor %v out of range", c, f)
+		}
+	}
+	if cfg.LikelihoodFloor <= 0 {
+		t.Fatalf("global fallback floor %v not set", cfg.LikelihoodFloor)
+	}
+	// The calibrated config must respect the budget on its own
+	// calibration split: well under half the sessions may alarm at 10%.
+	fired := 0
+	for _, s := range sessions {
+		mon, err := d.NewSessionMonitor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessionFired := false
+		for _, a := range s.Actions {
+			step, err := mon.ObserveAction(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range step.Alarms {
+				if k == AlarmLowLikelihood {
+					sessionFired = true
+				}
+			}
+		}
+		if sessionFired {
+			fired++
+		}
+	}
+	if frac := float64(fired) / float64(len(sessions)); frac > 0.35 {
+		t.Fatalf("per-cluster calibrated false-alarm fraction %v far above target 0.1", frac)
+	}
+	// A huge minSessions forces the global fallback everywhere.
+	fall, err := d.CalibrateMonitorPerCluster(DefaultMonitorConfig(), sessions, 0.1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, f := range fall.ClusterFloors {
+		if f != fall.LikelihoodFloor {
+			t.Fatalf("cluster %d floor %v, want global fallback %v", c, f, fall.LikelihoodFloor)
+		}
+	}
+	if _, err := d.CalibrateMonitorPerCluster(DefaultMonitorConfig(), sessions, 0, 2); err == nil {
+		t.Fatal("zero FPR must fail")
+	}
+	if _, err := d.CalibrateMonitorPerCluster(DefaultMonitorConfig(), nil, 0.1, 2); err == nil {
+		t.Fatal("no validation sessions must fail")
+	}
+}
+
+func TestMonitorClusterFloors(t *testing.T) {
+	d, _, sessions := trainedDetector(t)
+	// Give the session's own cluster an impossible floor of 1: every
+	// post-warmup action must alarm even though the global floor is 0.
+	s := sessions[0]
+	cfg := DefaultMonitorConfig()
+	cfg.LikelihoodFloor = 0
+	cfg.TrendWindow = 0
+	cfg.ClusterFloors = make([]float64, d.ClusterCount())
+	cfg.ClusterFloors[s.Cluster] = 1
+	mon, err := d.NewSessionMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for _, a := range s.Actions {
+		step, err := mon.ObserveAction(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarms += len(step.Alarms)
+	}
+	if alarms == 0 {
+		t.Fatal("cluster floor 1 raised no alarms: per-cluster floor not applied")
+	}
+	// Validation: out-of-range floors fail.
+	bad := DefaultMonitorConfig()
+	bad.ClusterFloors = []float64{0.5, 1.5}
+	if _, err := d.NewSessionMonitor(bad); err == nil {
+		t.Fatal("out-of-range cluster floor must fail")
+	}
+}
+
+func TestMonitorConfigFragmentRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "thresholds.json")
+	cfg := DefaultMonitorConfig()
+	cfg.LikelihoodFloor = 0.0125
+	cfg.ClusterFloors = []float64{0.01, 0.02, 0.03}
+	if err := SaveMonitorConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMonitorConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LikelihoodFloor != cfg.LikelihoodFloor || len(back.ClusterFloors) != 3 || back.ClusterFloors[2] != 0.03 {
+		t.Fatalf("fragment round trip changed the config: %+v", back)
+	}
+	if back.EWMAAlpha != cfg.EWMAAlpha || back.WarmupActions != cfg.WarmupActions {
+		t.Fatalf("fragment round trip lost base fields: %+v", back)
+	}
+	// A partial fragment keeps defaults for the missing fields.
+	if err := os.WriteFile(path, []byte(`{"likelihood_floor": 0.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := LoadMonitorConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultMonitorConfig()
+	if partial.LikelihoodFloor != 0.5 || partial.EWMAAlpha != def.EWMAAlpha || partial.TrendWindow != def.TrendWindow {
+		t.Fatalf("partial fragment %+v does not overlay defaults", partial)
+	}
+	// Invalid fragments fail loudly.
+	if err := os.WriteFile(path, []byte(`{"likelihood_floor": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMonitorConfig(path); err == nil {
+		t.Fatal("out-of-range fragment must fail")
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMonitorConfig(path); err == nil {
+		t.Fatal("malformed fragment must fail")
+	}
+	if _, err := LoadMonitorConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing fragment must fail")
 	}
 }
 

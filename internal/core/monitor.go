@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 
 	"misusedetect/internal/ocsvm"
 	"misusedetect/internal/scorer"
@@ -12,21 +14,33 @@ import (
 // soon as predictions start [to] vary a lot or drop down considerably that
 // is the alarm to the security operator"; the trend detector is the
 // paper's second future-work extension made concrete.
+//
+// The JSON form is the loadable threshold fragment emitted by the
+// calibration harness (misusectl eval -thresholds) and consumed by the
+// misused daemon's -monitor flag; see LoadMonitorConfig.
 type MonitorConfig struct {
 	// LikelihoodFloor raises an alarm when the smoothed per-action
 	// likelihood falls below it.
-	LikelihoodFloor float64
+	LikelihoodFloor float64 `json:"likelihood_floor"`
+	// ClusterFloors optionally overrides LikelihoodFloor per behavior
+	// cluster: a session routed to cluster c with c < len(ClusterFloors)
+	// alarms below ClusterFloors[c] instead. Clusters model behaviors of
+	// very different predictability (a routine data-entry cluster scores
+	// far higher than an exploratory one), so one global floor either
+	// floods the noisy cluster or blinds the quiet one; calibration fills
+	// this from a per-cluster false-positive budget.
+	ClusterFloors []float64 `json:"cluster_floors,omitempty"`
 	// EWMAAlpha is the smoothing factor of the likelihood average.
-	EWMAAlpha float64
+	EWMAAlpha float64 `json:"ewma_alpha"`
 	// TrendWindow is the number of recent actions inspected for a
 	// sustained downward trend; 0 disables trend alarms.
-	TrendWindow int
+	TrendWindow int `json:"trend_window"`
 	// TrendDrop is the relative drop across the trend window that
 	// triggers a trend alarm (e.g. 0.5 = halved).
-	TrendDrop float64
+	TrendDrop float64 `json:"trend_drop"`
 	// WarmupActions suppresses alarms for the first actions of a
 	// session, where predictions are necessarily uncertain.
-	WarmupActions int
+	WarmupActions int `json:"warmup_actions"`
 }
 
 // DefaultMonitorConfig returns sensible online settings.
@@ -44,11 +58,60 @@ func (c *MonitorConfig) validate() error {
 	if c.LikelihoodFloor < 0 || c.LikelihoodFloor > 1 {
 		return fmt.Errorf("core: LikelihoodFloor %v outside [0,1]", c.LikelihoodFloor)
 	}
+	for i, f := range c.ClusterFloors {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("core: ClusterFloors[%d] %v outside [0,1]", i, f)
+		}
+	}
 	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
 		return fmt.Errorf("core: EWMAAlpha %v outside (0,1]", c.EWMAAlpha)
 	}
 	if c.TrendDrop < 0 || c.TrendDrop >= 1 {
 		return fmt.Errorf("core: TrendDrop %v outside [0,1)", c.TrendDrop)
+	}
+	return nil
+}
+
+// floor returns the alarm floor for the given behavior cluster: the
+// cluster's calibrated floor when present, the global floor otherwise.
+func (c *MonitorConfig) floor(cluster int) float64 {
+	if cluster >= 0 && cluster < len(c.ClusterFloors) {
+		return c.ClusterFloors[cluster]
+	}
+	return c.LikelihoodFloor
+}
+
+// LoadMonitorConfig reads a monitor-threshold fragment (the JSON form of
+// MonitorConfig, as emitted by calibration) over the default settings:
+// fields absent from the file keep their DefaultMonitorConfig values, so
+// a fragment carrying only the calibrated floors is complete.
+func LoadMonitorConfig(path string) (MonitorConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return MonitorConfig{}, fmt.Errorf("core: read monitor config: %w", err)
+	}
+	cfg := DefaultMonitorConfig()
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return MonitorConfig{}, fmt.Errorf("core: parse monitor config %s: %w", path, err)
+	}
+	if err := cfg.validate(); err != nil {
+		return MonitorConfig{}, fmt.Errorf("core: monitor config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// SaveMonitorConfig writes cfg as the JSON fragment LoadMonitorConfig
+// reads back.
+func SaveMonitorConfig(path string, cfg MonitorConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal monitor config: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: write monitor config: %w", err)
 	}
 	return nil
 }
@@ -203,7 +266,7 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 	step.Smoothed = m.smoothed
 
 	if m.position >= m.mcfg.WarmupActions && likelihood >= 0 {
-		if m.smoothed < m.mcfg.LikelihoodFloor {
+		if m.smoothed < m.mcfg.floor(m.cluster) {
 			step.Alarms = append(step.Alarms, AlarmLowLikelihood)
 		}
 		if m.mcfg.TrendWindow > 0 && len(m.recent) == m.mcfg.TrendWindow {

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -92,6 +93,41 @@ func TestCorpusCoversEveryAnomalyKind(t *testing.T) {
 	} {
 		if perKind[sc.String()] == 0 {
 			t.Errorf("misuse scenario %s missing from corpus", sc)
+		}
+	}
+}
+
+// TestCorpusCoverageFloor is the single coverage table for the corpus as
+// a test asset (the synthetic-corpus pattern of the lumber pipeline):
+// every taxonomy leaf — all 13 behavior profiles AND all 4 anomaly kinds,
+// with the 3 scripted misuse scenarios spelled out — must appear in at
+// least 2 sessions, so no single-session fluke can carry a leaf and
+// harness evaluations always see every scenario kind on both replay
+// paths.
+func TestCorpusCoverageFloor(t *testing.T) {
+	c := load(t)
+	const floor = 2
+	perLeaf := make(map[string]int)
+	for _, s := range c.Sessions {
+		if s.Kind == KindProfile {
+			perLeaf[fmt.Sprintf("profile-%02d", s.ExpectedCluster)]++
+		} else {
+			perLeaf[s.Kind]++
+		}
+	}
+	var leaves []string
+	for _, p := range logsim.DefaultProfiles() {
+		leaves = append(leaves, fmt.Sprintf("profile-%02d", p.ID))
+	}
+	leaves = append(leaves, AnomalyKinds()...)
+	for _, sc := range []logsim.MisuseScenario{
+		logsim.MisuseMassDeletion, logsim.MisuseAccountFactory, logsim.MisuseCredentialSweep,
+	} {
+		leaves = append(leaves, sc.String())
+	}
+	for _, leaf := range leaves {
+		if perLeaf[leaf] < floor {
+			t.Errorf("leaf %q has %d corpus sessions, want >= %d", leaf, perLeaf[leaf], floor)
 		}
 	}
 }

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+)
+
+// BenchOptions tunes a load-bench run.
+type BenchOptions struct {
+	// Backend is the scorer backend to bench; "" defaults to ngram.
+	Backend string
+	// ShardCounts lists the engine shard counts to sweep; nil defaults
+	// to {1, 4}.
+	ShardCounts []int
+	// Events is the total event volume streamed per shard count; 0
+	// defaults to 20000. The evaluation sessions are replicated with
+	// fresh session IDs until the volume is reached, so the load spreads
+	// over many concurrent sessions.
+	Events int
+	// QueueDepth is the per-shard queue depth (0 = engine default).
+	QueueDepth int
+	// Monitor is the alarm configuration under load; the zero value
+	// defaults to core.DefaultMonitorConfig.
+	Monitor core.MonitorConfig
+	// Hidden, Epochs, Seed size and seed the trained model (see
+	// EvalOptions).
+	Hidden, Epochs int
+	Seed           int64
+}
+
+func (o *BenchOptions) setDefaults() {
+	if o.Backend == "" {
+		o.Backend = "ngram"
+	}
+	if o.ShardCounts == nil {
+		o.ShardCounts = []int{1, 4}
+	}
+	if o.Events == 0 {
+		o.Events = 20000
+	}
+	if o.Monitor.EWMAAlpha == 0 {
+		o.Monitor = core.DefaultMonitorConfig()
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 4
+	}
+}
+
+// LatencyDist is a latency distribution summary in microseconds.
+type LatencyDist struct {
+	P50 float64 `json:"p50_us"`
+	P95 float64 `json:"p95_us"`
+	P99 float64 `json:"p99_us"`
+	Max float64 `json:"max_us"`
+}
+
+// BenchResult is the measured outcome of one load run.
+type BenchResult struct {
+	// Mode is "engine" (in-process) or "wire" (TCP against a live
+	// daemon).
+	Mode    string `json:"mode"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	// Events and Sessions describe the streamed load.
+	Events   int `json:"events"`
+	Sessions int `json:"sessions"`
+	// WallSeconds covers first submit to last event scored; EventsPerSec
+	// is Events over it.
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Ingest is the per-event submission latency during the full-rate
+	// run — the Submit call in-process, the line write on the wire —
+	// including any backpressure stall, so its tail shows queueing.
+	Ingest LatencyDist `json:"ingest"`
+	// Score is the per-action scoring latency measured serially through
+	// a session monitor: the pure model cost one shard pays per event.
+	// Identical across shard counts of one backend by construction.
+	Score LatencyDist `json:"score"`
+	// Alarms counts alarms raised during the run.
+	Alarms uint64 `json:"alarms"`
+}
+
+// percentiles summarizes a latency sample in microseconds.
+func percentiles(samples []time.Duration) LatencyDist {
+	if len(samples) == 0 {
+		return LatencyDist{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx].Nanoseconds()) / 1e3
+	}
+	return LatencyDist{P50: at(0.50), P95: at(0.95), P99: at(0.99), Max: at(1)}
+}
+
+// benchStream replicates the traffic's evaluation sessions, with fresh
+// session IDs per replica (plus the caller's salt, for runs against a
+// long-lived daemon), into one interleaved stream of at least `events`
+// events (trimmed to exactly `events`), and reports the number of
+// distinct sessions in it.
+func benchStream(tr *Traffic, events int, salt string) ([]actionlog.Event, int, error) {
+	base := 0
+	for _, l := range tr.EvalSessions() {
+		base += l.Session.Len()
+	}
+	if base == 0 {
+		// Without this the replication loop below could never reach the
+		// target volume and would spin forever.
+		return nil, 0, fmt.Errorf("harness: bench needs a traffic evaluation split with events, got none")
+	}
+	var labeled []LabeledSession
+	total := 0
+	for rep := 0; total < events; rep++ {
+		for _, l := range tr.EvalSessions() {
+			s := l.Session.Clone()
+			s.ID = fmt.Sprintf("%s-rep%03d%s", s.ID, rep, salt)
+			labeled = append(labeled, LabeledSession{Session: s, Kind: l.Kind, ExpectedAnomalous: l.ExpectedAnomalous})
+			total += s.Len()
+			if total >= events {
+				break
+			}
+		}
+	}
+	stream := flattenLabeled(labeled)
+	if len(stream) > events {
+		stream = stream[:events]
+	}
+	sessions := make(map[string]bool)
+	for _, ev := range stream {
+		sessions[ev.SessionID] = true
+	}
+	return stream, len(sessions), nil
+}
+
+// BenchEngine measures the in-process serving path: it trains one
+// detector of the requested backend, then for every shard count streams
+// the replicated evaluation traffic through a fresh engine at full rate,
+// reporting throughput (events/sec), ingest-latency percentiles
+// (backpressure included), and the serial per-action scoring cost.
+func BenchEngine(tr *Traffic, opt BenchOptions) ([]BenchResult, error) {
+	opt.setDefaults()
+	det, err := trainDetector(tr, EvalOptions{Hidden: opt.Hidden, Epochs: opt.Epochs, Seed: opt.Seed}, opt.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench train %s: %w", opt.Backend, err)
+	}
+	// Every shard count gets a fresh in-process engine, so no salt is
+	// needed to keep sessions cold.
+	stream, sessions, err := benchStream(tr, opt.Events, "")
+	if err != nil {
+		return nil, err
+	}
+
+	score, err := scoreLatency(det, opt.Monitor, stream)
+	if err != nil {
+		return nil, err
+	}
+
+	var results []BenchResult
+	for _, shards := range opt.ShardCounts {
+		res, err := benchShardCount(det, opt, stream, shards)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench %d shards: %w", shards, err)
+		}
+		res.Sessions = sessions
+		res.Score = score
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// scoreLatency times every ObserveAction of the stream through serial
+// session monitors: the per-event model cost with no queueing around it.
+func scoreLatency(det *core.Detector, monitor core.MonitorConfig, stream []actionlog.Event) (LatencyDist, error) {
+	monitors := make(map[string]*core.SessionMonitor)
+	samples := make([]time.Duration, 0, len(stream))
+	for _, ev := range stream {
+		mon, ok := monitors[ev.SessionID]
+		if !ok {
+			var err error
+			if mon, err = det.NewSessionMonitor(monitor); err != nil {
+				return LatencyDist{}, err
+			}
+			monitors[ev.SessionID] = mon
+		}
+		t0 := time.Now()
+		if _, err := mon.ObserveAction(ev.Action); err != nil {
+			return LatencyDist{}, fmt.Errorf("harness: score latency on %s: %w", ev.SessionID, err)
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	return percentiles(samples), nil
+}
+
+func benchShardCount(det *core.Detector, opt BenchOptions, stream []actionlog.Event, shards int) (BenchResult, error) {
+	engine, err := core.NewEngine(det, core.EngineConfig{
+		Shards:     shards,
+		QueueDepth: opt.QueueDepth,
+		Monitor:    opt.Monitor,
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer engine.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	ingest := make([]time.Duration, 0, len(stream))
+	t0 := time.Now()
+	for _, ev := range stream {
+		s0 := time.Now()
+		// A nil sink counts alarms without delivering them: the bench
+		// measures the scoring path, not an alarm consumer.
+		if err := engine.Submit(ctx, ev, nil); err != nil {
+			return BenchResult{}, err
+		}
+		ingest = append(ingest, time.Since(s0))
+	}
+	if err := engine.Drain(ctx); err != nil {
+		return BenchResult{}, err
+	}
+	wall := time.Since(t0)
+	st := engine.Stats()
+	return BenchResult{
+		Mode:         "engine",
+		Backend:      opt.Backend,
+		Shards:       shards,
+		Events:       len(stream),
+		WallSeconds:  wall.Seconds(),
+		EventsPerSec: float64(len(stream)) / wall.Seconds(),
+		Ingest:       percentiles(ingest),
+		Alarms:       st.AlarmsRaised,
+	}, nil
+}

@@ -1,0 +1,471 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+	"misusedetect/internal/metrics"
+	"misusedetect/internal/scorer"
+)
+
+// EvalOptions tunes an in-process evaluation run.
+type EvalOptions struct {
+	// Backends lists the scorer backends to evaluate; nil defaults to
+	// lstm, ngram, and hmm.
+	Backends []string
+	// FPRBudget is the false-positive budget for calibration and the
+	// TPR operating point; 0 defaults to 0.05.
+	FPRBudget float64
+	// Monitor is the base monitor configuration calibration starts from;
+	// the zero value defaults to core.DefaultMonitorConfig.
+	Monitor core.MonitorConfig
+	// Hidden and Epochs size the LSTM backend; 0 defaults to 16 and 4.
+	Hidden, Epochs int
+	// Shards is the engine shard count for the alarm-level replay; 0
+	// defaults to 4.
+	Shards int
+	// Seed derives the training seeds.
+	Seed int64
+}
+
+func (o *EvalOptions) setDefaults() {
+	if o.Backends == nil {
+		o.Backends = []string{"lstm", "ngram", "hmm"}
+	}
+	if o.FPRBudget == 0 {
+		o.FPRBudget = 0.05
+	}
+	if o.Monitor.EWMAAlpha == 0 {
+		o.Monitor = core.DefaultMonitorConfig()
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 4
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+}
+
+// ClusterReport is the detection-quality breakdown for one behavior
+// cluster (sessions grouped by their best-explaining cluster; see
+// scoreSession).
+type ClusterReport struct {
+	Cluster   int `json:"cluster"`
+	Normals   int `json:"normals"`
+	Anomalies int `json:"anomalies"`
+	// AUC is -1 when the cluster attracted only one class and the curve
+	// is undefined.
+	AUC float64 `json:"auc"`
+	// Floor is the cluster's calibrated alarm floor.
+	Floor float64 `json:"floor"`
+}
+
+// Detection is the session-level fold of an alarm stream over labeled
+// traffic, shared by the in-process engine replay and the wire replay.
+type Detection struct {
+	NormalSessions    int `json:"normal_sessions"`
+	AlarmedNormals    int `json:"alarmed_normals"`
+	AnomalySessions   int `json:"anomaly_sessions"`
+	DetectedAnomalies int `json:"detected_anomalies"`
+	// MeanTimeToDetection is the mean number of actions until the first
+	// alarm of a detected anomalous session (-1 when nothing was
+	// detected).
+	MeanTimeToDetection float64 `json:"mean_time_to_detection_actions"`
+	// DetectedByKind counts detected anomalous sessions per scenario
+	// kind.
+	DetectedByKind map[string]int `json:"detected_by_kind"`
+}
+
+// foldAlarms reduces an alarm stream to session-level detection counts:
+// a session counts as detected (or false-alarmed) when any alarm names
+// it, and its time-to-detection is the 1-based position of its first
+// alarm.
+func foldAlarms(alarms []core.Alarm, labeled []LabeledSession) Detection {
+	firstAlarm := make(map[string]int)
+	for _, a := range alarms {
+		if _, ok := firstAlarm[a.SessionID]; !ok {
+			firstAlarm[a.SessionID] = a.Position
+		}
+	}
+	det := Detection{DetectedByKind: make(map[string]int)}
+	var ttdSum float64
+	for _, l := range labeled {
+		pos, alarmed := firstAlarm[l.Session.ID]
+		if l.ExpectedAnomalous {
+			det.AnomalySessions++
+			if alarmed {
+				det.DetectedAnomalies++
+				det.DetectedByKind[l.Kind]++
+				ttdSum += float64(pos + 1)
+			}
+		} else {
+			det.NormalSessions++
+			if alarmed {
+				det.AlarmedNormals++
+			}
+		}
+	}
+	det.MeanTimeToDetection = -1
+	if det.DetectedAnomalies > 0 {
+		det.MeanTimeToDetection = ttdSum / float64(det.DetectedAnomalies)
+	}
+	return det
+}
+
+// ReplayReport is the alarm-level outcome of replaying the evaluation
+// split through the sharded engine at the calibrated operating point.
+type ReplayReport struct {
+	Shards int `json:"shards"`
+	Events int `json:"events"`
+	Detection
+}
+
+// BackendReport is the full detection-quality report for one backend.
+type BackendReport struct {
+	Backend      string  `json:"backend"`
+	TrainSeconds float64 `json:"train_seconds"`
+	// NormalSessions and AnomalySessions count the scored evaluation
+	// sessions; SkippedSessions were too short to score.
+	NormalSessions  int `json:"normal_sessions"`
+	AnomalySessions int `json:"anomaly_sessions"`
+	SkippedSessions int `json:"skipped_sessions"`
+	// AUC is the area under the ROC of the session normality score: the
+	// best-cluster minimum post-warmup smoothed likelihood (see
+	// scoreSession). Scoring a session against every cluster model and
+	// keeping the best explanation absorbs the routing imprecision that
+	// otherwise dominates with small per-cluster training sets — the
+	// same idea as the paper's weighted-combination extension, with min
+	// semantics matching the alarm floor.
+	AUC float64 `json:"auc"`
+	// TPRAtBudget is the recall achievable within the FPR budget.
+	FPRBudget   float64 `json:"fpr_budget"`
+	TPRAtBudget float64 `json:"tpr_at_budget"`
+	// ScoreThreshold is the normality-score threshold realizing
+	// TPRAtBudget (the highest-recall ROC operating point within the
+	// budget); Precision and Recall are measured at it.
+	ScoreThreshold float64 `json:"score_threshold"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	// Calibrated is the full calibrated monitor configuration — the
+	// loadable threshold fragment (core.SaveMonitorConfig / misused
+	// -monitor).
+	Calibrated core.MonitorConfig `json:"calibrated"`
+	Clusters   []ClusterReport    `json:"clusters"`
+	Replay     ReplayReport       `json:"replay"`
+}
+
+// EvalReport is the report of one evaluation run across backends.
+type EvalReport struct {
+	Source          string          `json:"source"`
+	Vocabulary      int             `json:"vocabulary"`
+	ClusterCount    int             `json:"clusters"`
+	TrainSessions   int             `json:"train_sessions"`
+	HoldoutSessions int             `json:"holdout_sessions"`
+	AnomalySessions int             `json:"anomaly_sessions"`
+	FPRBudget       float64         `json:"fpr_budget"`
+	Backends        []BackendReport `json:"backends"`
+}
+
+// sessionScore is one evaluation session's scored outcome.
+type sessionScore struct {
+	labeled LabeledSession
+	score   float64
+	cluster int
+}
+
+// Eval trains one detector per requested backend on the traffic's
+// training split and evaluates detection quality on the held-out
+// sessions: score-level ROC metrics, per-cluster breakdowns, threshold
+// calibration from the FPR budget, and an alarm-level engine replay at
+// the calibrated operating point.
+func Eval(tr *Traffic, opt EvalOptions) (*EvalReport, error) {
+	opt.setDefaults()
+	if len(tr.Holdout) == 0 || len(tr.Anomalies) == 0 {
+		return nil, fmt.Errorf("harness: eval needs held-out normals (%d) and anomalies (%d)",
+			len(tr.Holdout), len(tr.Anomalies))
+	}
+	report := &EvalReport{
+		Source:          tr.Source,
+		Vocabulary:      tr.Vocab.Size(),
+		ClusterCount:    len(tr.Train),
+		TrainSessions:   tr.TrainCount(),
+		HoldoutSessions: len(tr.Holdout),
+		AnomalySessions: len(tr.Anomalies),
+		FPRBudget:       opt.FPRBudget,
+	}
+	for _, backend := range opt.Backends {
+		br, err := evalBackend(tr, opt, backend)
+		if err != nil {
+			return nil, fmt.Errorf("harness: eval %s: %w", backend, err)
+		}
+		report.Backends = append(report.Backends, br)
+	}
+	return report, nil
+}
+
+// trainDetector fits one detector of the given backend on the traffic,
+// with the harness's small-scale LSTM recipe (higher learning rate, no
+// dropout) — tiny networks on a handful of sessions per cluster never
+// reach a useful loss at the paper's production rate.
+func trainDetector(tr *Traffic, opt EvalOptions, backend string) (*core.Detector, error) {
+	cfg := core.ScaledConfig(tr.Vocab.Size(), len(tr.Train), opt.Hidden, opt.Epochs, opt.Seed)
+	cfg.Backend = backend
+	cfg.LM.Trainer.LearningRate = 0.01
+	cfg.LM.Network.DropoutRate = 0
+	return core.TrainDetector(cfg, tr.Vocab, tr.Train, nil)
+}
+
+func evalBackend(tr *Traffic, opt EvalOptions, backend string) (BackendReport, error) {
+	t0 := time.Now()
+	det, err := trainDetector(tr, opt, backend)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	trainSeconds := time.Since(t0).Seconds()
+	br, err := EvalDetector(det, tr, opt)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	br.TrainSeconds = trainSeconds
+	return br, nil
+}
+
+// EvalDetector evaluates an already-trained detector on the traffic's
+// evaluation split: the path behind `misusectl eval -model`, which
+// calibrates thresholds for the exact model a daemon serves instead of
+// a freshly trained stand-in. Evaluation sessions containing actions
+// outside the detector's vocabulary are skipped and counted, so a model
+// trained on a session-derived vocabulary still evaluates against
+// full-simulator traffic.
+func EvalDetector(det *core.Detector, tr *Traffic, opt EvalOptions) (BackendReport, error) {
+	opt.setDefaults()
+	vocabOK := func(s *actionlog.Session) bool {
+		for _, a := range s.Actions {
+			if !det.Vocabulary().Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	eval := &Traffic{Source: tr.Source, Vocab: det.Vocabulary()}
+	br := BackendReport{
+		Backend:   det.Backend(),
+		FPRBudget: opt.FPRBudget,
+	}
+	for _, l := range tr.Holdout {
+		if vocabOK(l.Session) {
+			eval.Holdout = append(eval.Holdout, l)
+		} else {
+			br.SkippedSessions++
+		}
+	}
+	for _, l := range tr.Anomalies {
+		if vocabOK(l.Session) {
+			eval.Anomalies = append(eval.Anomalies, l)
+		} else {
+			br.SkippedSessions++
+		}
+	}
+	if len(eval.Holdout) == 0 || len(eval.Anomalies) == 0 {
+		return BackendReport{}, fmt.Errorf("vocabulary filter left %d holdout and %d anomalous sessions",
+			len(eval.Holdout), len(eval.Anomalies))
+	}
+
+	// Score every evaluation session: the normality score is the minimum
+	// post-warmup smoothed likelihood — the exact quantity the alarm
+	// floor acts on, so the ROC thresholds map one-to-one onto floors.
+	var scored []sessionScore
+	for _, l := range eval.EvalSessions() {
+		sc, cluster, err := scoreSession(det, opt.Monitor, l.Session)
+		if err != nil {
+			return BackendReport{}, err
+		}
+		if cluster < 0 {
+			br.SkippedSessions++
+			continue
+		}
+		scored = append(scored, sessionScore{labeled: l, score: sc, cluster: cluster})
+	}
+	var normalScores, anomalyScores []float64
+	for _, s := range scored {
+		if s.labeled.ExpectedAnomalous {
+			anomalyScores = append(anomalyScores, s.score)
+		} else {
+			normalScores = append(normalScores, s.score)
+		}
+	}
+	br.NormalSessions, br.AnomalySessions = len(normalScores), len(anomalyScores)
+
+	curve, auc, err := metrics.ROC(normalScores, anomalyScores)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	br.AUC = auc
+	op, err := metrics.OperatingPointAtFPR(curve, opt.FPRBudget)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	br.TPRAtBudget = op.TruePositiveRate
+	br.ScoreThreshold = op.Threshold
+	if br.Precision, br.Recall, err = metrics.PrecisionRecallAt(normalScores, anomalyScores, op.Threshold); err != nil {
+		return BackendReport{}, err
+	}
+
+	// Calibrate per-cluster alarm floors from the held-out normals;
+	// unlike the score-space operating point above, these act on the
+	// serving path's routed-cluster smoothed likelihood, so they are
+	// directly loadable by the misused daemon.
+	validation := make([]*actionlog.Session, len(eval.Holdout))
+	for i, l := range eval.Holdout {
+		validation[i] = l.Session
+	}
+	calibrated, err := det.CalibrateMonitorPerCluster(opt.Monitor, validation, opt.FPRBudget, 2)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	br.Calibrated = calibrated
+
+	br.Clusters = clusterReports(det.ClusterCount(), scored, calibrated)
+
+	replay, err := replayEngine(det, calibrated, eval, opt.Shards)
+	if err != nil {
+		return BackendReport{}, err
+	}
+	br.Replay = replay
+	return br, nil
+}
+
+// scoreSession computes one session's normality score: per behavior
+// cluster, the session streams through the cluster's sequence model
+// under the monitor's EWMA, recording the minimum post-warmup smoothed
+// likelihood (the session's worst stretch as that cluster sees it); the
+// score is the maximum over clusters — how well the *best-explaining*
+// behavior accounts for the session's weakest point. Normal sessions fit
+// some cluster and score high; anomalies fit none and stay low, no
+// matter how the OC-SVM vote would have routed them. The returned
+// cluster is the best-explaining one; -1 means the session was too short
+// to score.
+func scoreSession(det *core.Detector, base core.MonitorConfig, s *actionlog.Session) (float64, int, error) {
+	if s.Len() < det.Config().MinSessionLength {
+		return 0, -1, nil
+	}
+	vocab := det.Vocabulary()
+	clusters := det.Clusters()
+	streams := make([]scorer.Stream, len(clusters))
+	smoothed := make([]float64, len(clusters))
+	warmMin := make([]float64, len(clusters))
+	for i := range clusters {
+		streams[i] = clusters[i].Model.NewStream()
+		smoothed[i], warmMin[i] = -1, -1
+	}
+	for pos, a := range s.Actions {
+		idx, err := vocab.Index(a)
+		if err != nil {
+			return 0, -1, fmt.Errorf("score %s: %w", s.ID, err)
+		}
+		for i := range streams {
+			lik, err := scorer.ObserveLikelihood(streams[i], idx)
+			if err != nil {
+				return 0, -1, fmt.Errorf("score %s: %w", s.ID, err)
+			}
+			if lik < 0 {
+				continue
+			}
+			if smoothed[i] < 0 {
+				smoothed[i] = lik
+			} else {
+				smoothed[i] = base.EWMAAlpha*lik + (1-base.EWMAAlpha)*smoothed[i]
+			}
+			if pos >= base.WarmupActions && (warmMin[i] < 0 || smoothed[i] < warmMin[i]) {
+				warmMin[i] = smoothed[i]
+			}
+		}
+	}
+	best, bestCluster := -1.0, -1
+	for i := range warmMin {
+		m := warmMin[i]
+		if m < 0 {
+			// Shorter than the warmup: fall back to the final smoothed
+			// likelihood so short sessions are still rankable.
+			m = smoothed[i]
+		}
+		if m >= 0 && m > best {
+			best, bestCluster = m, i
+		}
+	}
+	if bestCluster < 0 {
+		return 0, -1, nil
+	}
+	return best, bestCluster, nil
+}
+
+// clusterReports groups the scored sessions by routed cluster and
+// computes each cluster's ROC where both classes are present.
+func clusterReports(clusters int, scored []sessionScore, calibrated core.MonitorConfig) []ClusterReport {
+	normals := make([][]float64, clusters)
+	anomalies := make([][]float64, clusters)
+	for _, s := range scored {
+		if s.cluster < 0 || s.cluster >= clusters {
+			continue
+		}
+		if s.labeled.ExpectedAnomalous {
+			anomalies[s.cluster] = append(anomalies[s.cluster], s.score)
+		} else {
+			normals[s.cluster] = append(normals[s.cluster], s.score)
+		}
+	}
+	out := make([]ClusterReport, clusters)
+	for c := range out {
+		cr := ClusterReport{
+			Cluster:   c,
+			Normals:   len(normals[c]),
+			Anomalies: len(anomalies[c]),
+			AUC:       -1,
+			Floor:     calibrated.LikelihoodFloor,
+		}
+		if c < len(calibrated.ClusterFloors) {
+			cr.Floor = calibrated.ClusterFloors[c]
+		}
+		if cr.Normals > 0 && cr.Anomalies > 0 {
+			if _, auc, err := metrics.ROC(normals[c], anomalies[c]); err == nil {
+				cr.AUC = auc
+			}
+		}
+		out[c] = cr
+	}
+	return out
+}
+
+// replayEngine pushes the evaluation stream through a deterministic
+// sharded engine configured with the calibrated thresholds and derives
+// the alarm-level outcome: which sessions alarmed, and how many actions
+// an anomalous session ran before its first alarm.
+func replayEngine(det *core.Detector, monitor core.MonitorConfig, tr *Traffic, shards int) (ReplayReport, error) {
+	engine, err := core.NewEngine(det, core.EngineConfig{
+		Shards:        shards,
+		Monitor:       monitor,
+		Deterministic: true,
+	})
+	if err != nil {
+		return ReplayReport{}, err
+	}
+	defer engine.Close()
+	events := tr.Events()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	alarms, err := engine.Replay(ctx, events)
+	if err != nil {
+		return ReplayReport{}, err
+	}
+	return ReplayReport{
+		Shards:    shards,
+		Events:    len(events),
+		Detection: foldAlarms(alarms, tr.EvalSessions()),
+	}, nil
+}

@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -58,8 +59,17 @@ func ROC(normalScores, anomalyScores []float64) ([]ROCPoint, float64, error) {
 			}
 			j++
 		}
+		// The point's rates count every score <= all[i].score as flagged,
+		// so the threshold that realizes them under the "flag scores <
+		// Threshold" rule is the next distinct score (+Inf after the
+		// largest): reporting all[i].score itself would exclude the tied
+		// group and understate both rates at the operating point.
+		threshold := math.Inf(1)
+		if j < len(all) {
+			threshold = all[j].score
+		}
 		curve = append(curve, ROCPoint{
-			Threshold:         all[i].score,
+			Threshold:         threshold,
 			TruePositiveRate:  float64(tp) / nAnom,
 			FalsePositiveRate: float64(fp) / nNorm,
 		})
@@ -74,23 +84,37 @@ func ROC(normalScores, anomalyScores []float64) ([]ROCPoint, float64, error) {
 	return curve, auc, nil
 }
 
+// OperatingPointAtFPR returns the curve point with the highest
+// true-positive rate among those within the false-positive budget (the
+// lowest such threshold on ties). Its Threshold realizes exactly that
+// TPR/FPR under the "flag scores < Threshold" rule, so callers can
+// deploy the returned point directly.
+func OperatingPointAtFPR(curve []ROCPoint, maxFPR float64) (ROCPoint, error) {
+	if len(curve) == 0 {
+		return ROCPoint{}, fmt.Errorf("metrics: empty ROC curve")
+	}
+	if maxFPR < 0 || maxFPR > 1 {
+		return ROCPoint{}, fmt.Errorf("metrics: FPR budget %v outside [0,1]", maxFPR)
+	}
+	best := ROCPoint{Threshold: curve[0].Threshold}
+	found := false
+	for _, p := range curve {
+		if p.FalsePositiveRate <= maxFPR && (!found || p.TruePositiveRate > best.TruePositiveRate) {
+			best, found = p, true
+		}
+	}
+	return best, nil
+}
+
 // TPRAtFPR returns the true-positive rate achievable at (or below) the
 // given false-positive budget, the operating point a security team cares
 // about ("what do we catch at 1% false alarms?").
 func TPRAtFPR(curve []ROCPoint, maxFPR float64) (float64, error) {
-	if len(curve) == 0 {
-		return 0, fmt.Errorf("metrics: empty ROC curve")
+	p, err := OperatingPointAtFPR(curve, maxFPR)
+	if err != nil {
+		return 0, err
 	}
-	if maxFPR < 0 || maxFPR > 1 {
-		return 0, fmt.Errorf("metrics: FPR budget %v outside [0,1]", maxFPR)
-	}
-	best := 0.0
-	for _, p := range curve {
-		if p.FalsePositiveRate <= maxFPR && p.TruePositiveRate > best {
-			best = p.TruePositiveRate
-		}
-	}
-	return best, nil
+	return p.TruePositiveRate, nil
 }
 
 // PrecisionRecallAt computes precision and recall when flagging scores

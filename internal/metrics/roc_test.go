@@ -119,6 +119,138 @@ func TestTPRAtFPR(t *testing.T) {
 	}
 }
 
+// TestROCTiedScoresThresholdConsistency pins the tie-handling contract:
+// scores tied across both classes collapse into one curve point whose
+// Threshold, applied with the documented "flag scores < Threshold" rule,
+// reproduces exactly the point's TPR and FPR. Before the fix the point
+// reported the tied value itself, which excludes the whole tied group.
+func TestROCTiedScoresThresholdConsistency(t *testing.T) {
+	normal := []float64{0.5, 0.5, 0.9}
+	anomaly := []float64{0.5, 0.1}
+	curve, auc, err := ROC(normal, anomaly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range curve {
+		tp, fp := 0, 0
+		for _, s := range anomaly {
+			if s < p.Threshold {
+				tp++
+			}
+		}
+		for _, s := range normal {
+			if s < p.Threshold {
+				fp++
+			}
+		}
+		if got := float64(tp) / float64(len(anomaly)); math.Abs(got-p.TruePositiveRate) > 1e-12 {
+			t.Fatalf("threshold %v realizes TPR %v, point says %v", p.Threshold, got, p.TruePositiveRate)
+		}
+		if got := float64(fp) / float64(len(normal)); math.Abs(got-p.FalsePositiveRate) > 1e-12 {
+			t.Fatalf("threshold %v realizes FPR %v, point says %v", p.Threshold, got, p.FalsePositiveRate)
+		}
+	}
+	// Hand-checked AUC for this tie pattern: ranking by score with the
+	// tied pair contributing half credit gives 1*(2/3) + 0.5*(1/3)... the
+	// trapezoid over the collapsed points. anomalies {0.1,0.5}, normals
+	// {0.5,0.5,0.9}: P(anom < norm) + 0.5*P(tie) = (1*3 + (2 + 0.5*2)/3)/...
+	// direct count: pairs = 6; anomaly 0.1 beats 3 normals; anomaly 0.5
+	// ties 2 (counts 1), beats 1 -> (3 + 2)/6.
+	if want := 5.0 / 6; math.Abs(auc-want) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want %v", auc, want)
+	}
+	last := curve[len(curve)-1]
+	if !math.IsInf(last.Threshold, 1) {
+		t.Fatalf("terminal point threshold = %v, want +Inf so every score is flagged", last.Threshold)
+	}
+}
+
+// TestROCAllTied: every score identical in both classes degenerates to
+// the chance diagonal (AUC 0.5) rather than dividing by zero or losing
+// the (1,1) endpoint.
+func TestROCAllTied(t *testing.T) {
+	curve, auc, err := ROC([]float64{0.3, 0.3}, []float64{0.3, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("all-tied AUC = %v, want 0.5", auc)
+	}
+	last := curve[len(curve)-1]
+	if last.TruePositiveRate != 1 || last.FalsePositiveRate != 1 {
+		t.Fatalf("all-tied curve must still end at (1,1): %+v", last)
+	}
+}
+
+// TestTPRAtFPREndpoints covers the budget endpoints: FPR 0 returns the
+// TPR achievable with zero false alarms, FPR 1 always returns 1.
+func TestTPRAtFPREndpoints(t *testing.T) {
+	// Anomalies strictly below all normals: perfect recall at FPR 0.
+	curve, _, err := ROC([]float64{0.8, 0.9}, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TPRAtFPR(curve, 0)
+	if err != nil || got != 1 {
+		t.Fatalf("separable TPR@FPR=0 = %v, %v, want 1", got, err)
+	}
+	// Anomalies strictly above all normals: nothing is catchable without
+	// flagging every normal first.
+	curve, _, err = ROC([]float64{0.1, 0.2}, []float64{0.8, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = TPRAtFPR(curve, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("inverted TPR@FPR=0 = %v, %v, want 0", got, err)
+	}
+	got, err = TPRAtFPR(curve, 1)
+	if err != nil || got != 1 {
+		t.Fatalf("TPR@FPR=1 = %v, %v, want 1", got, err)
+	}
+	if _, err := TPRAtFPR(curve, -0.1); err == nil {
+		t.Fatal("negative budget must fail")
+	}
+}
+
+// TestOperatingPointAtFPR: the returned point's Threshold must realize
+// its rates, including at budget 0.
+func TestOperatingPointAtFPR(t *testing.T) {
+	normal := []float64{0.8, 0.9}
+	anomaly := []float64{0.1, 0.2}
+	curve, _, err := ROC(normal, anomaly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := OperatingPointAtFPR(curve, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TruePositiveRate != 1 || p.FalsePositiveRate != 0 {
+		t.Fatalf("operating point %+v, want TPR 1 FPR 0", p)
+	}
+	// The threshold flags both anomalies and no normal.
+	if !(0.2 < p.Threshold && p.Threshold <= 0.8) {
+		t.Fatalf("threshold %v does not separate 0.2 from 0.8", p.Threshold)
+	}
+	if _, err := OperatingPointAtFPR(nil, 0.1); err == nil {
+		t.Fatal("empty curve must fail")
+	}
+}
+
+// TestPrecisionRecallAtEmptyNormals: an empty normal class is legal (a
+// replay of pure attack traffic) and must yield precision 1 whenever
+// anything is flagged, never a division by zero.
+func TestPrecisionRecallAtEmptyNormals(t *testing.T) {
+	p, r, err := PrecisionRecallAt(nil, []float64{0.1, 0.9}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 || r != 0.5 {
+		t.Fatalf("p=%v r=%v, want 1, 0.5", p, r)
+	}
+}
+
 func TestPrecisionRecallAt(t *testing.T) {
 	normal := []float64{0.9, 0.8, 0.1} // one normal below threshold
 	anomaly := []float64{0.05, 0.2, 0.7}

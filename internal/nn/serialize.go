@@ -37,11 +37,36 @@ func (n *LanguageNetwork) Save(w io.Writer) error {
 	return nil
 }
 
+// maxLoadDim and maxLoadCells bound the network dimensions accepted
+// from a serialized file. NewLanguageNetwork allocates O(dim^2) weight
+// matrices straight from the decoded config, so without a ceiling a
+// corrupted or hostile file declaring billion-unit layers forces a huge
+// allocation (or an overflowing rows*cols) before any weight data is
+// even read. The per-dimension cap alone is not enough — two dims at
+// the cap still multiply into terabytes — so the largest matrix the
+// config implies (the stacked LSTM gate weights, 4*hidden x
+// (input+hidden)) is bounded to 1<<24 cells (128 MiB of float64),
+// which comfortably covers the paper scale (300-action vocabulary x
+// 256 hidden units).
+const (
+	maxLoadDim   = 1 << 20
+	maxLoadCells = 1 << 24
+)
+
 // LoadLanguageNetwork reads a network previously written by Save.
 func LoadLanguageNetwork(r io.Reader) (*LanguageNetwork, error) {
 	var s serializedNetwork
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("nn: load network: %w", err)
+	}
+	in, hidden := s.Config.InputSize, s.Config.HiddenSize
+	// The cell bound is compared via division so it cannot overflow int
+	// on 32-bit platforms (4*hidden*(in+hidden) wraps there well before
+	// the allocation would fail).
+	if in > maxLoadDim || hidden > maxLoadDim ||
+		(in > 0 && hidden > 0 && hidden > maxLoadCells/(4*(in+hidden))) {
+		return nil, fmt.Errorf("nn: load network: dimensions %dx%d exceed the load limits (corrupted file?)",
+			in, hidden)
 	}
 	n, err := NewLanguageNetwork(s.Config)
 	if err != nil {

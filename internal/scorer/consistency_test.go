@@ -1,0 +1,141 @@
+package scorer_test
+
+import (
+	"math"
+	"testing"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
+	"misusedetect/internal/lm"
+	"misusedetect/internal/logsim"
+	"misusedetect/internal/scorer"
+)
+
+// trainAllBackends fits one model per registered family on a small
+// simulator corpus over the full logsim vocabulary.
+func trainAllBackends(t *testing.T) ([]scorer.Scorer, *actionlog.Vocabulary) {
+	t.Helper()
+	corpus, err := logsim.Generate(logsim.Config{
+		Sessions: 60, Users: 10, Days: 1,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := corpus.Vocabulary.EncodeAll(actionlog.FilterMinLength(corpus.Sessions, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := baseline.TrainNGram(encoded, corpus.Vocabulary.Size(), baseline.DefaultNGramConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := baseline.TrainHMM(encoded, corpus.Vocabulary.Size(), baseline.HMMConfig{States: 3, Iterations: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmCfg := lm.ScaledConfig(corpus.Vocabulary.Size(), 8, 1, 9)
+	lmCfg.Network.DropoutRate = 0
+	lstm, err := lm.Train(lmCfg, encoded[:20], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []scorer.Scorer{lstm, ng, hm}, corpus.Vocabulary
+}
+
+// TestStreamBatchEquivalenceProperty is the main stream-vs-batch
+// guarantee: for every backend, replaying a session through NewStream
+// (via the generic ScoreStream) yields the same session-level measures
+// as the backend's own batch ScoreSession — over randomized sessions
+// from logsim.RandomSessions, not hand-picked pins. Random sessions
+// exercise arbitrary action mixtures and lengths from the 2-action
+// minimum up, which is exactly where windowed stream state (n-gram
+// context windows, HMM forward state, LSTM scratch reuse) can drift
+// from the batch path.
+func TestStreamBatchEquivalenceProperty(t *testing.T) {
+	models, vocab := trainAllBackends(t)
+	random, err := logsim.RandomSessions(vocab, 40, 2, 45, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		for _, sess := range random {
+			encoded, err := vocab.Encode(sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := m.ScoreSession(encoded)
+			if err != nil {
+				t.Fatalf("%s %s: batch: %v", m.Backend(), sess.ID, err)
+			}
+			stream, err := scorer.ScoreStream(m, encoded)
+			if err != nil {
+				t.Fatalf("%s %s: stream: %v", m.Backend(), sess.ID, err)
+			}
+			if batch.Steps != stream.Steps || batch.Steps != len(encoded)-1 {
+				t.Fatalf("%s %s: steps batch %d stream %d, want %d",
+					m.Backend(), sess.ID, batch.Steps, stream.Steps, len(encoded)-1)
+			}
+			for _, d := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"avg likelihood", stream.AvgLikelihood, batch.AvgLikelihood},
+				{"avg loss", stream.AvgLoss, batch.AvgLoss},
+				{"perplexity", stream.Perplexity, batch.Perplexity},
+				{"accuracy", stream.Accuracy, batch.Accuracy},
+			} {
+				// Relative tolerance: perplexity is exp-scaled, so an
+				// absolute epsilon would be meaningless for it.
+				tol := 1e-9 * math.Max(1, math.Abs(d.want))
+				if math.Abs(d.got-d.want) > tol {
+					t.Fatalf("%s session %s: stream %s %v != batch %v",
+						m.Backend(), sess.ID, d.name, d.got, d.want)
+				}
+			}
+			if batch.AvgLikelihood < 0 || batch.AvgLikelihood > 1 {
+				t.Fatalf("%s %s: avg likelihood %v outside [0,1]", m.Backend(), sess.ID, batch.AvgLikelihood)
+			}
+		}
+	}
+}
+
+// TestStreamLikelihoodFastPathProperty extends the property to the
+// serving hot path: mixing ObserveLikelihood and Observe must advance
+// every backend's stream identically to Observe alone.
+func TestStreamLikelihoodFastPathProperty(t *testing.T) {
+	models, vocab := trainAllBackends(t)
+	random, err := logsim.RandomSessions(vocab, 15, 2, 45, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		for _, sess := range random {
+			encoded, err := vocab.Encode(sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := m.NewStream()
+			mixed := m.NewStream()
+			for i, a := range encoded {
+				want, _, err := ref.Observe(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got float64
+				if i%2 == 0 {
+					got, err = scorer.ObserveLikelihood(mixed, a)
+				} else {
+					got, _, err = mixed.Observe(a)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("%s session %s position %d: mixed %v, Observe %v",
+						m.Backend(), sess.ID, i, got, want)
+				}
+			}
+		}
+	}
+}
