@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// misusectlMention captures the word following "misusectl" in prose or
+// shell snippets: the subcommand the docs claim exists.
+var misusectlMention = regexp.MustCompile(`misusectl\s+([a-z][a-z-]*)`)
+
+// TestDocsConsistency cross-checks the operator documentation against
+// the real CLI: every `misusectl <subcommand>` named in README.md or
+// OPERATIONS.md must be a registered subcommand, and every registered
+// subcommand must be documented in the README — so the docs can never
+// drift ahead of or behind commands.go. (The CI docs-consistency step
+// runs exactly this test.)
+func TestDocsConsistency(t *testing.T) {
+	// "help" is a dispatcher built-in, not a registered subcommand.
+	valid := map[string]bool{"help": true}
+	for _, name := range subcommandNames() {
+		valid[name] = true
+	}
+
+	mentioned := map[string]bool{}
+	var corpus strings.Builder
+	for _, doc := range []string{"README.md", "OPERATIONS.md"} {
+		path := filepath.Join("..", "..", doc)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v (the top-level operator docs are required)", doc, err)
+		}
+		corpus.Write(blob)
+		for _, m := range misusectlMention.FindAllStringSubmatch(string(blob), -1) {
+			name := m[1]
+			mentioned[name] = true
+			if !valid[name] {
+				t.Errorf("%s names `misusectl %s`, which is not a registered subcommand (have: %s)",
+					doc, name, strings.Join(subcommandNames(), ", "))
+			}
+		}
+	}
+	// A subcommand also counts as documented when it appears as a
+	// backticked name (the README's subcommand list).
+	for _, name := range subcommandNames() {
+		if strings.Contains(corpus.String(), "`"+name+"`") {
+			mentioned[name] = true
+		}
+	}
+	if len(mentioned) == 0 {
+		t.Fatal("the docs never mention a misusectl subcommand; the consistency check is vacuous")
+	}
+	for _, name := range subcommandNames() {
+		if !mentioned[name] {
+			t.Errorf("subcommand %q is not mentioned in README.md or OPERATIONS.md", name)
+		}
+	}
+}

@@ -16,13 +16,35 @@
 //	misusectl bench      [-backends lstm,ngram,hmm] [-shards 1,4] [-events 20000] [-json] [-addr host:port]
 //	misusectl status     -addr 127.0.0.1:7074
 //	misusectl reload     -addr 127.0.0.1:7074
+//	misusectl drift      -addr 127.0.0.1:7074
+//	misusectl adapt      -once [-addr host:port | -model ./model -data events.jsonl [-root ./generations]]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
+
+// subcommands is the single registry of misusectl verbs: run dispatches
+// on it and the docs-consistency test cross-checks every subcommand
+// README.md and OPERATIONS.md mention against it.
+var subcommands = map[string]func([]string) error{
+	"generate":   cmdGenerate,
+	"train":      cmdTrain,
+	"score":      cmdScore,
+	"monitor":    cmdMonitor,
+	"viz":        cmdViz,
+	"experiment": cmdExperiment,
+	"inspect":    cmdInspect,
+	"eval":       cmdEval,
+	"bench":      cmdBench,
+	"status":     cmdStatus,
+	"reload":     cmdReload,
+	"drift":      cmdDrift,
+	"adapt":      cmdAdapt,
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -37,35 +59,26 @@ func run(args []string) error {
 		return fmt.Errorf("missing subcommand")
 	}
 	switch args[0] {
-	case "generate":
-		return cmdGenerate(args[1:])
-	case "train":
-		return cmdTrain(args[1:])
-	case "score":
-		return cmdScore(args[1:])
-	case "monitor":
-		return cmdMonitor(args[1:])
-	case "viz":
-		return cmdViz(args[1:])
-	case "experiment":
-		return cmdExperiment(args[1:])
-	case "inspect":
-		return cmdInspect(args[1:])
-	case "eval":
-		return cmdEval(args[1:])
-	case "bench":
-		return cmdBench(args[1:])
-	case "status":
-		return cmdStatus(args[1:])
-	case "reload":
-		return cmdReload(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
-	default:
+	}
+	cmd, ok := subcommands[args[0]]
+	if !ok {
 		usage()
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+	return cmd(args[1:])
+}
+
+// subcommandNames returns the registered verbs, sorted.
+func subcommandNames() []string {
+	out := make([]string, 0, len(subcommands))
+	for name := range subcommands {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func usage() {
@@ -82,7 +95,9 @@ subcommands:
   eval        replay labeled traffic end to end and report detection quality (AUC, TPR@FPR, time-to-detection) per backend, with threshold calibration; -addr measures a live daemon at the wire level
   bench       measure serving latency percentiles and events/sec across backends and shard counts; -addr load-tests a live daemon over TCP
   status      query a running misused daemon for its engine counters (backend, model version, ...)
-  reload      hot-swap a running misused daemon onto its re-trained model directory`)
+  reload      hot-swap a running misused daemon onto its re-trained model directory
+  drift       inspect a daemon's drift detectors and adaptation pipeline (requires misused -adapt)
+  adapt       run one retrain/recalibrate/hot-swap cycle: -addr inside a live daemon, or offline against -model and -data`)
 }
 
 func newFlagSet(name string) *flag.FlagSet {

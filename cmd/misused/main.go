@@ -19,14 +19,26 @@
 // model may use any registered scorer backend (LSTM, n-gram, HMM); the
 // backend is recorded in the model directory and restored on load.
 //
-// Control commands (one JSON line each, misusectl wraps both):
+// Control commands (one JSON line each, misusectl wraps them all):
 //
 //	{"cmd":"status"}  ->  engine counters, active backend + model version
-//	{"cmd":"reload"}  ->  re-read -model and hot-swap the new model set;
+//	{"cmd":"reload"}  ->  re-read -model and hot-swap the new model set
+//	                      (plus its thresholds.json when present);
 //	                      in-flight sessions finish on the version they
 //	                      started on (zero downtime, no weight mixing)
+//	{"cmd":"drift"}   ->  drift-detector and adaptation-pipeline state
+//	                      (requires -adapt)
+//	{"cmd":"adapt"}   ->  run one manual retrain cycle now (requires
+//	                      -adapt); replies with the cycle report
 //
 // Unknown commands receive a {"error":...} JSON line.
+//
+// With -adapt the daemon runs the online adaptation pipeline
+// (internal/pipeline): per-cluster drift detectors over the live
+// session-likelihood stream, a buffer of recent alarm-free sessions as
+// candidate retraining data, and — when drift fires — an automatic
+// retrain + recalibrate + guardrail-eval + hot-swap cycle. -adapt-root
+// receives one versioned model directory per swapped generation.
 package main
 
 import (
@@ -39,6 +51,8 @@ import (
 	"time"
 
 	"misusedetect/internal/core"
+	"misusedetect/internal/drift"
+	"misusedetect/internal/pipeline"
 )
 
 func main() {
@@ -50,43 +64,105 @@ func main() {
 	shards := fs.Int("shards", 0, "scoring engine shard count (0 = default)")
 	queue := fs.Int("queue", 0, "per-shard event queue depth (0 = default)")
 	monitorPath := fs.String("monitor", "", "calibrated monitor-threshold fragment (JSON, from misusectl eval -thresholds); empty uses defaults")
+	adapt := fs.Bool("adapt", false, "enable the online drift-detection and retrain/hot-swap pipeline")
+	adaptRoot := fs.String("adapt-root", "", "directory receiving one versioned model dir per adapted generation (empty = keep generations in memory only)")
+	adaptMinSessions := fs.Int("adapt-min-sessions", 60, "alarm-free sessions buffered before a retrain cycle may run")
+	adaptWindow := fs.Int("adapt-window", 40, "drift window: KS reference/sliding window and unknown-rate window, in sessions")
+	adaptSensitivity := fs.Float64("adapt-sensitivity", 1, "Page-Hinkley alarm threshold (lambda); lower = more sensitive, earlier retrains")
+	adaptGuardrail := fs.Float64("adapt-guardrail", 0.05, "tolerated held-out AUC regression of a retrained generation before the swap is refused")
+	adaptFPR := fs.Float64("adapt-fpr", 0.05, "false-positive budget for recalibrating per-cluster alarm floors")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if err := run(*modelDir, *listen, *monitorPath, *idle, *shards, *queue); err != nil {
+	cfg := daemonConfig{
+		modelDir:    *modelDir,
+		listen:      *listen,
+		monitorPath: *monitorPath,
+		idle:        *idle,
+		shards:      *shards,
+		queue:       *queue,
+		adapt:       *adapt,
+		adaptRoot:   *adaptRoot,
+		minSessions: *adaptMinSessions,
+		window:      *adaptWindow,
+		sensitivity: *adaptSensitivity,
+		guardrail:   *adaptGuardrail,
+		fpr:         *adaptFPR,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "misused:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelDir, listen, monitorPath string, idle time.Duration, shards, queue int) error {
-	det, err := core.LoadDetector(modelDir)
+// daemonConfig carries the parsed flags.
+type daemonConfig struct {
+	modelDir, listen, monitorPath string
+	idle                          time.Duration
+	shards, queue                 int
+	adapt                         bool
+	adaptRoot                     string
+	minSessions, window           int
+	sensitivity, guardrail, fpr   float64
+}
+
+func run(cfg daemonConfig) error {
+	det, err := core.LoadDetector(cfg.modelDir)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
 	}
 	monitor := core.DefaultMonitorConfig()
-	if monitorPath != "" {
-		if monitor, err = core.LoadMonitorConfig(monitorPath); err != nil {
+	if cfg.monitorPath != "" {
+		if monitor, err = core.LoadMonitorConfig(cfg.monitorPath); err != nil {
 			return fmt.Errorf("load monitor thresholds: %w", err)
 		}
 		fmt.Printf("loaded calibrated thresholds from %s (global floor %.5f, %d cluster floors)\n",
-			monitorPath, monitor.LikelihoodFloor, len(monitor.ClusterFloors))
+			cfg.monitorPath, monitor.LikelihoodFloor, len(monitor.ClusterFloors))
 	}
-	srv, err := NewServer(det, ServerConfig{
-		Listen:     listen,
-		ModelDir:   modelDir,
-		IdleExpiry: idle,
-		Shards:     shards,
-		QueueDepth: queue,
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	reg, err := core.NewRegistry(det)
+	if err != nil {
+		return err
+	}
+	scfg := ServerConfig{
+		Listen:     cfg.listen,
+		ModelDir:   cfg.modelDir,
+		IdleExpiry: cfg.idle,
+		Shards:     cfg.shards,
+		QueueDepth: cfg.queue,
 		Monitor:    monitor,
-		Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
-	})
+		Registry:   reg,
+		Logf:       logf,
+	}
+	if cfg.adapt {
+		dcfg := drift.DefaultConfig()
+		dcfg.PageHinkley.Lambda = cfg.sensitivity
+		dcfg.KS.Window = cfg.window
+		dcfg.Unknown.Window = cfg.window
+		adapter, err := pipeline.New(reg, pipeline.Config{
+			Drift:          dcfg,
+			Monitor:        monitor,
+			MinSessions:    cfg.minSessions,
+			GuardrailDelta: cfg.guardrail,
+			FPRBudget:      cfg.fpr,
+			ModelRoot:      cfg.adaptRoot,
+			AutoCycle:      true,
+			Logf:           logf,
+		})
+		if err != nil {
+			return fmt.Errorf("start adaptation pipeline: %w", err)
+		}
+		scfg.Adapter = adapter
+		scfg.OnSessionEnd = adapter.OnSessionEnd
+		scfg.RecordSessions = true
+	}
+	srv, err := NewServer(det, scfg)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("misused listening on %s (model %s, backend %s, %d clusters, %d shards)\n",
-		srv.Addr(), modelDir, det.Backend(), det.ClusterCount(), srv.Stats().Shards)
+	fmt.Printf("misused listening on %s (model %s, backend %s, %d clusters, %d shards, adapt %v)\n",
+		srv.Addr(), cfg.modelDir, det.Backend(), det.ClusterCount(), srv.Stats().Shards, cfg.adapt)
 	return srv.Serve(ctx)
 }

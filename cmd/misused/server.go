@@ -11,6 +11,7 @@ import (
 
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/core"
+	"misusedetect/internal/pipeline"
 )
 
 // ServerConfig configures the monitoring daemon.
@@ -29,6 +30,19 @@ type ServerConfig struct {
 	QueueDepth int
 	// Monitor is the per-session alarm configuration.
 	Monitor core.MonitorConfig
+	// Registry optionally supplies the model registry the engine reads
+	// (the detector argument of NewServer is then ignored); nil wraps
+	// the detector in a fresh single-generation registry. The adaptation
+	// pipeline shares the registry with the engine so its swaps roll out
+	// to new sessions.
+	Registry *core.Registry
+	// Adapter enables the {"cmd":"drift"} and {"cmd":"adapt"} control
+	// commands; nil answers them with an error line.
+	Adapter *pipeline.Adapter
+	// OnSessionEnd and RecordSessions are passed through to the engine
+	// (the adapter's feed).
+	OnSessionEnd   func(core.SessionSummary)
+	RecordSessions bool
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +79,18 @@ type ReloadStatus struct {
 // or is not recognized.
 type ErrorReply struct {
 	Error string `json:"error"`
+}
+
+// DriftReply is the JSON line written back for a drift-status request:
+// the adaptation pipeline's full snapshot.
+type DriftReply struct {
+	Drift pipeline.Status `json:"drift"`
+}
+
+// AdaptReply is the JSON line written back for a completed manual
+// adaptation cycle.
+type AdaptReply struct {
+	Adapt *pipeline.CycleReport `json:"adapt"`
 }
 
 // inboundLine is one decoded client line: control lines carry a "cmd"
@@ -125,13 +151,22 @@ func NewServer(det *core.Detector, cfg ServerConfig) (*Server, error) {
 	if cfg.IdleExpiry <= 0 {
 		return nil, fmt.Errorf("misused: IdleExpiry must be positive, got %v", cfg.IdleExpiry)
 	}
-	engine, err := core.NewEngine(det, core.EngineConfig{
-		Shards:     cfg.Shards,
-		QueueDepth: cfg.QueueDepth,
-		IdleExpiry: cfg.IdleExpiry,
-		Monitor:    cfg.Monitor,
-		Logf:       cfg.Logf,
-	})
+	ecfg := core.EngineConfig{
+		Shards:         cfg.Shards,
+		QueueDepth:     cfg.QueueDepth,
+		IdleExpiry:     cfg.IdleExpiry,
+		Monitor:        cfg.Monitor,
+		OnSessionEnd:   cfg.OnSessionEnd,
+		RecordSessions: cfg.RecordSessions,
+		Logf:           cfg.Logf,
+	}
+	var engine *core.Engine
+	var err error
+	if cfg.Registry != nil {
+		engine, err = core.NewEngineRegistry(cfg.Registry, ecfg)
+	} else {
+		engine, err = core.NewEngine(det, ecfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("misused: start engine: %w", err)
 	}
@@ -273,9 +308,9 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	<-writerDone
 }
 
-// handleCommand answers a control line ({"cmd":"status"} or
-// {"cmd":"reload"}). Unknown commands get a JSON error line back, so a
-// misbehaving client sees its mistake instead of silence.
+// handleCommand answers a control line ({"cmd":"status"}, "reload",
+// "drift", or "adapt"). Unknown commands get a JSON error line back, so
+// a misbehaving client sees its mistake instead of silence.
 func (s *Server) handleCommand(cmd string, enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
 	switch cmd {
 	case "status":
@@ -285,27 +320,54 @@ func (s *Server) handleCommand(cmd string, enc *json.Encoder, writeMu *sync.Mute
 		})
 	case "reload":
 		s.handleReload(enc, writeMu, conn)
+	case "drift":
+		if s.cfg.Adapter == nil {
+			s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "adaptation disabled (start misused with -adapt)"})
+			return
+		}
+		s.writeReply(enc, writeMu, conn, &DriftReply{Drift: s.cfg.Adapter.Status()})
+	case "adapt":
+		s.handleAdapt(enc, writeMu, conn)
 	default:
 		s.logf("unknown command %q from %s", cmd, conn.RemoteAddr())
 		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("unknown command %q", cmd)})
 	}
 }
 
+// handleAdapt runs one manual adaptation cycle synchronously on the
+// connection's goroutine (retraining takes seconds to minutes; the
+// client sets its own timeout) and reports the cycle outcome. A
+// guardrail refusal is a successful reply — the report says so.
+func (s *Server) handleAdapt(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
+	if s.cfg.Adapter == nil {
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "adaptation disabled (start misused with -adapt)"})
+		return
+	}
+	rep, err := s.cfg.Adapter.Cycle("manual")
+	if err != nil {
+		s.logf("manual adaptation cycle: %v", err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("adapt: %v", err)})
+		return
+	}
+	if rep.Swapped {
+		s.logf("manual adaptation cycle swapped in generation %d (AUC %.3f vs %.3f)", rep.NewVersion, rep.NewAUC, rep.OldAUC)
+	} else {
+		s.logf("manual adaptation cycle refused: %s", rep.Refused)
+	}
+	s.writeReply(enc, writeMu, conn, &AdaptReply{Adapt: rep})
+}
+
 // handleReload re-reads the model directory and hot-swaps the new
-// generation into the engine registry. Sessions already streaming keep
-// their pinned generation; new sessions score with the reloaded one.
+// generation into the engine registry (together with the directory's
+// calibrated thresholds.json when present). Sessions already streaming
+// keep their pinned generation; new sessions score with the reloaded
+// one.
 func (s *Server) handleReload(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
 	if s.cfg.ModelDir == "" {
 		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "reload unavailable: server started without a model directory"})
 		return
 	}
-	det, err := core.LoadDetector(s.cfg.ModelDir)
-	if err != nil {
-		s.logf("reload %s: %v", s.cfg.ModelDir, err)
-		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
-		return
-	}
-	mv, err := s.engine.Reload(det, s.cfg.ModelDir)
+	mv, err := s.engine.Registry().LoadFrom(s.cfg.ModelDir)
 	if err != nil {
 		s.logf("reload %s: %v", s.cfg.ModelDir, err)
 		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})

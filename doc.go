@@ -47,10 +47,30 @@
 // per-action scoring) and events/sec across backends and shard counts,
 // in-process or against a live daemon with -addr.
 //
+// The serving stack is self-maintaining: internal/drift runs online
+// drift detection over the session summaries the engine emits —
+// Page–Hinkley on the smoothed-likelihood mean and a windowed
+// two-sample KS test against a reference frozen at model load, per
+// behavior cluster and globally, plus an unknown-action-rate test for
+// vocabulary drift — and internal/pipeline closes the loop: it buffers
+// recent alarm-free sessions as candidate training data and, on a
+// drift signal (or misusectl adapt -once), retrains the per-cluster
+// models through the core training path (growing the vocabulary with
+// recurring new actions, distilling clusters too quiet to retrain from
+// their own stale models), recalibrates the per-cluster alarm floors
+// from the same FPR budget, guardrail-evaluates the candidate
+// generation against the serving one on held-out traffic, and — unless
+// the held-out AUC regressed past tolerance — writes a versioned model
+// directory and hot-swaps it through the registry. misused -adapt runs
+// the loop in the daemon, with {"cmd":"drift"} / {"cmd":"adapt"} wire
+// commands behind misusectl drift and misusectl adapt.
+//
 // Entry points:
 //
 //   - internal/core: the full pipeline (training, scoring, online
-//     monitoring, the sharded engine, model persistence)
+//     monitoring, the sharded engine, model persistence, retraining)
+//   - internal/drift, internal/pipeline: online drift detection and
+//     the automated retrain/hot-swap adaptation loop
 //   - internal/corpus: the embedded labeled evaluation corpus
 //   - internal/harness: end-to-end evaluation and load benching
 //   - internal/experiments: regenerates every figure of the paper
@@ -59,7 +79,7 @@
 //   - cmd/misused: TCP log-ingestion monitoring daemon
 //   - examples/: runnable walkthroughs
 //
-// See DESIGN.md for the system inventory, ARCHITECTURE.md for the
-// concurrent scoring engine, and EXPERIMENTS.md for paper-versus-measured
-// results.
+// See README.md for the quickstart, ARCHITECTURE.md for the serving
+// stack and adaptation loop, and OPERATIONS.md for the operator
+// runbook.
 package misusedetect

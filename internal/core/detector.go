@@ -62,31 +62,41 @@ func TrainDetector(cfg Config, vocab *actionlog.Vocabulary, clusterTrain [][]*ac
 	}
 	d := &Detector{cfg: cfg, vocab: vocab, featurizer: feat}
 	for ci, sessions := range clusterTrain {
-		filtered := actionlog.FilterMinLength(sessions, cfg.MinSessionLength)
-		if len(filtered) == 0 {
-			return nil, fmt.Errorf("core: cluster %d has no trainable sessions", ci)
-		}
-		encoded, err := vocab.EncodeAll(filtered)
+		cm, err := trainCluster(&cfg, vocab, feat, sessions, ci, progress)
 		if err != nil {
-			return nil, fmt.Errorf("core: encode cluster %d: %w", ci, err)
-		}
-		features, err := feat.Corpus(encoded)
-		if err != nil {
-			return nil, fmt.Errorf("core: featurize cluster %d: %w", ci, err)
-		}
-		ocCfg := cfg.OCSVM
-		ocCfg.Seed = cfg.OCSVM.Seed + int64(ci)
-		router, err := ocsvm.Train(features, ocCfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: train OC-SVM %d: %w", ci, err)
-		}
-		cm := ClusterModel{Router: router, TrainSize: len(filtered)}
-		if err := cm.train(&cfg, vocab, encoded, ci, progress); err != nil {
 			return nil, err
 		}
 		d.clusters = append(d.clusters, cm)
 	}
 	return d, nil
+}
+
+// trainCluster fits one cluster's OC-SVM router and sequence model: the
+// per-cluster body shared by TrainDetector and RetrainDetector.
+func trainCluster(cfg *Config, vocab *actionlog.Vocabulary, feat *ocsvm.Featurizer, sessions []*actionlog.Session, ci int, progress func(int, nn.EpochStats)) (ClusterModel, error) {
+	filtered := actionlog.FilterMinLength(sessions, cfg.MinSessionLength)
+	if len(filtered) == 0 {
+		return ClusterModel{}, fmt.Errorf("core: cluster %d has no trainable sessions", ci)
+	}
+	encoded, err := vocab.EncodeAll(filtered)
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: encode cluster %d: %w", ci, err)
+	}
+	features, err := feat.Corpus(encoded)
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: featurize cluster %d: %w", ci, err)
+	}
+	ocCfg := cfg.OCSVM
+	ocCfg.Seed = cfg.OCSVM.Seed + int64(ci)
+	router, err := ocsvm.Train(features, ocCfg)
+	if err != nil {
+		return ClusterModel{}, fmt.Errorf("core: train OC-SVM %d: %w", ci, err)
+	}
+	cm := ClusterModel{Router: router, TrainSize: len(filtered)}
+	if err := cm.train(cfg, vocab, encoded, ci, progress); err != nil {
+		return ClusterModel{}, err
+	}
+	return cm, nil
 }
 
 // train fits the cluster's sequence model with the configured backend,

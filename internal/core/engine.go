@@ -49,8 +49,70 @@ type EngineConfig struct {
 	// internal buffer that DrainAlarms returns in global submission
 	// order, making a sharded replay byte-identical to the serial path.
 	Deterministic bool
+	// OnSessionEnd, when non-nil, receives a SessionSummary every time a
+	// session leaves the engine (idle eviction, Flush, or Close). It is
+	// invoked on the owning shard's goroutine, so it must be fast and
+	// safe to call from multiple goroutines concurrently; the adaptation
+	// pipeline hangs off this hook.
+	OnSessionEnd func(SessionSummary)
+	// RecordSessions keeps each live session's submitted action names
+	// (up to MaxRecordedActions) so the SessionSummary can carry the
+	// replayable session — the raw material of drift-triggered
+	// retraining. Off by default: pure serving should not pay the
+	// per-session memory.
+	RecordSessions bool
+	// MaxRecordedActions bounds the recorded actions per session when
+	// RecordSessions is set; 0 defaults to 512. Sessions running past
+	// the cap keep scoring but stop recording.
+	MaxRecordedActions int
 	// Logf receives operational log lines (scoring errors); nil silences.
 	Logf func(format string, args ...any)
+}
+
+// SessionSummary describes one finished session as the engine saw it:
+// identity, routing, the generation that scored it, and the likelihood
+// statistics drift detection feeds on. When EngineConfig.RecordSessions
+// is set it also carries the submitted action names.
+type SessionSummary struct {
+	SessionID string
+	// User and Start come from the session's first event.
+	User  string
+	Start time.Time
+	// Cluster is the final routed behavior cluster.
+	Cluster int
+	// ModelVersion is the registry generation the session was pinned to.
+	ModelVersion uint64
+	// Observed counts the actions the session's monitor scored; Unknown
+	// counts submitted actions the monitor rejected (outside the model
+	// vocabulary) — the raw signal of vocabulary drift.
+	Observed int
+	Unknown  int
+	// Alarms is the number of alarms the session raised.
+	Alarms int
+	// MinSmoothed is the minimum post-warmup smoothed likelihood (-1 if
+	// the session never scored past the warmup) — the calibrated
+	// quantity, so drift statistics and alarm floors share one scale.
+	MinSmoothed float64
+	// LastSmoothed is the final EWMA value (-1 if nothing scored).
+	LastSmoothed float64
+	// Actions holds the submitted action names when recording was
+	// enabled (truncated at MaxRecordedActions), nil otherwise.
+	Actions []string
+}
+
+// Session rebuilds the replayable session from a recorded summary, or
+// nil when the engine was not recording actions.
+func (s *SessionSummary) Session() *actionlog.Session {
+	if len(s.Actions) == 0 {
+		return nil
+	}
+	return &actionlog.Session{
+		ID:      s.SessionID,
+		User:    s.User,
+		Start:   s.Start,
+		Actions: s.Actions,
+		Cluster: s.Cluster,
+	}
 }
 
 // DefaultEngineConfig returns production-leaning engine settings.
@@ -69,6 +131,9 @@ func (c *EngineConfig) setDefaults() {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
+	}
+	if c.MaxRecordedActions == 0 {
+		c.MaxRecordedActions = 512
 	}
 }
 
@@ -100,13 +165,15 @@ type EngineStats struct {
 	ScoreErrors     uint64 `json:"score_errors"`
 }
 
-// shardMsg is one unit of shard work: an event to score, or (when detach
-// is non-nil) a control message asking the shard to forget a sink.
+// shardMsg is one unit of shard work: an event to score, or a control
+// message — detach non-nil asks the shard to forget a sink, flush asks it
+// to evict every live session now.
 type shardMsg struct {
 	seq    uint64
 	ev     actionlog.Event
 	sink   chan<- Alarm
 	detach chan<- Alarm
+	flush  bool
 	ack    chan<- struct{}
 }
 
@@ -119,6 +186,11 @@ type engineSession struct {
 	version  uint64
 	sink     chan<- Alarm
 	lastSeen time.Time
+	user     string
+	start    time.Time
+	alarms   int
+	unknown  int
+	actions  []string
 }
 
 // engineShard owns a partition of the session space: its goroutine is the
@@ -281,6 +353,29 @@ func (e *Engine) Detach(sink chan<- Alarm) {
 	}
 }
 
+// Flush ends every live session on every shard now — emitting a
+// SessionSummary per session when the hook is set — and blocks until all
+// shards have done so. Because shards consume FIFO, every event submitted
+// before the Flush is scored first. Replay-style adaptation (and tests)
+// use it where production serving relies on idle eviction.
+func (e *Engine) Flush() {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		// Closing already ends every session; wait for that instead.
+		e.wg.Wait()
+		return
+	}
+	ack := make(chan struct{}, len(e.shards))
+	for _, sh := range e.shards {
+		sh.in <- shardMsg{flush: true, ack: ack}
+	}
+	e.mu.RUnlock()
+	for range e.shards {
+		<-ack
+	}
+}
+
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats {
 	// Read processed before submitted: processed never exceeds submitted
@@ -386,6 +481,9 @@ func (s *engineShard) run() {
 		select {
 		case msg, ok := <-s.in:
 			if !ok {
+				// Closing: every remaining session ends now, so the
+				// adaptation hook sees the complete picture.
+				s.evictAll()
 				return
 			}
 			if msg.detach != nil {
@@ -394,6 +492,11 @@ func (s *engineShard) run() {
 						sess.sink = nil
 					}
 				}
+				msg.ack <- struct{}{}
+				continue
+			}
+			if msg.flush {
+				s.evictAll()
 				msg.ack <- struct{}{}
 				continue
 			}
@@ -414,8 +517,15 @@ func (s *engineShard) process(msg shardMsg) {
 		// Pin the session to the registry generation current at its
 		// first event: the monitor holds that generation's detector, so
 		// a concurrent Reload never changes the weights mid-session.
+		// The generation also pins the monitor configuration when it
+		// carries a calibrated one: recalibrated floors roll out with
+		// the weights they were calibrated for.
 		mv := s.e.reg.Current()
-		mon, err := mv.Det.NewSessionMonitor(s.e.cfg.Monitor)
+		mcfg := s.e.cfg.Monitor
+		if mv.Monitor != nil {
+			mcfg = *mv.Monitor
+		}
+		mon, err := mv.Det.NewSessionMonitor(mcfg)
 		if err != nil {
 			// Config was validated at NewEngine; failing here means the
 			// detector itself is unusable.
@@ -423,18 +533,26 @@ func (s *engineShard) process(msg shardMsg) {
 			s.e.logf("session %s: %v", msg.ev.SessionID, err)
 			return
 		}
-		sess = &engineSession{mon: mon, version: mv.Version}
+		sess = &engineSession{mon: mon, version: mv.Version, user: msg.ev.User, start: msg.ev.Time}
 		s.sessions[msg.ev.SessionID] = sess
 		s.e.sessions.Add(1)
 	}
 	sess.sink = msg.sink
 	sess.lastSeen = time.Now()
+	if s.e.cfg.RecordSessions && len(sess.actions) < s.e.cfg.MaxRecordedActions {
+		sess.actions = append(sess.actions, msg.ev.Action)
+	}
 	step, err := sess.mon.ObserveAction(msg.ev.Action)
 	if err != nil {
+		// Overwhelmingly an action outside the model vocabulary: count
+		// it on the session so the summary exposes the unknown-action
+		// rate vocabulary-drift detection watches.
+		sess.unknown++
 		s.e.scoreErrors.Add(1)
 		s.e.logf("session %s: %v", msg.ev.SessionID, err)
 		return
 	}
+	sess.alarms += len(step.Alarms)
 	for _, kind := range step.Alarms {
 		a := Alarm{
 			Seq:          msg.seq,
@@ -466,11 +584,40 @@ func (s *engineShard) evictIdle(now time.Time) {
 	cutoff := now.Add(-s.e.cfg.IdleExpiry)
 	for id, sess := range s.sessions {
 		if sess.lastSeen.Before(cutoff) {
-			delete(s.sessions, id)
-			s.e.sessions.Add(-1)
+			s.end(id, sess)
 			s.e.evictions.Add(1)
 		}
 	}
+}
+
+// evictAll ends every live session (engine Flush and Close).
+func (s *engineShard) evictAll() {
+	for id, sess := range s.sessions {
+		s.end(id, sess)
+	}
+}
+
+// end removes one session from the shard and reports it to the
+// session-end hook. Runs only on the shard goroutine.
+func (s *engineShard) end(id string, sess *engineSession) {
+	delete(s.sessions, id)
+	s.e.sessions.Add(-1)
+	if s.e.cfg.OnSessionEnd == nil {
+		return
+	}
+	s.e.cfg.OnSessionEnd(SessionSummary{
+		SessionID:    id,
+		User:         sess.user,
+		Start:        sess.start,
+		Cluster:      sess.mon.Cluster(),
+		ModelVersion: sess.version,
+		Observed:     sess.mon.Position(),
+		Unknown:      sess.unknown,
+		Alarms:       sess.alarms,
+		MinSmoothed:  sess.mon.MinSmoothed(),
+		LastSmoothed: sess.mon.Smoothed(),
+		Actions:      sess.actions,
+	})
 }
 
 func (e *Engine) logf(format string, args ...any) {

@@ -172,6 +172,7 @@ type SessionMonitor struct {
 	cluster  int
 	position int
 	smoothed float64
+	warmMin  float64
 	recent   []float64
 }
 
@@ -186,6 +187,7 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 		features: d.featurizer.Stream(),
 		votes:    make([]int, len(d.clusters)),
 		smoothed: -1,
+		warmMin:  -1,
 	}
 	for i := range d.clusters {
 		m.streams = append(m.streams, d.clusters[i].Model.NewStream())
@@ -266,6 +268,9 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 	step.Smoothed = m.smoothed
 
 	if m.position >= m.mcfg.WarmupActions && likelihood >= 0 {
+		if m.warmMin < 0 || m.smoothed < m.warmMin {
+			m.warmMin = m.smoothed
+		}
 		if m.smoothed < m.mcfg.floor(m.cluster) {
 			step.Alarms = append(step.Alarms, AlarmLowLikelihood)
 		}
@@ -285,3 +290,13 @@ func (m *SessionMonitor) Cluster() int { return m.cluster }
 
 // Position returns the number of observed actions.
 func (m *SessionMonitor) Position() int { return m.position }
+
+// Smoothed returns the current EWMA of the likelihood (-1 before the
+// first scored action).
+func (m *SessionMonitor) Smoothed() float64 { return m.smoothed }
+
+// MinSmoothed returns the minimum post-warmup smoothed likelihood seen
+// so far — the session's weakest point, the exact quantity threshold
+// calibration quantiles over — or -1 when the session has not scored
+// past the warmup yet.
+func (m *SessionMonitor) MinSmoothed() float64 { return m.warmMin }

@@ -2,10 +2,18 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ThresholdsFile is the calibrated monitor fragment a model directory may
+// carry next to its manifest; Registry.LoadFrom installs it with the
+// generation so calibrated floors travel with the weights they were
+// calibrated for.
+const ThresholdsFile = "thresholds.json"
 
 // ModelVersion is one immutable generation of the model set: a trained
 // detector plus its monotonically increasing version number. Sessions
@@ -17,6 +25,13 @@ type ModelVersion struct {
 	// Det is the generation's detector. Detectors are immutable after
 	// training/loading, so sharing one across sessions is safe.
 	Det *Detector
+	// Monitor is the generation's calibrated alarm configuration, when
+	// one was installed with the swap (SwapCalibrated, or LoadFrom on a
+	// directory carrying a thresholds.json); nil falls back to the
+	// engine-wide monitor configuration. Sessions pin the monitor config
+	// together with the weights, so recalibrated floors roll out exactly
+	// like a new model generation: to new sessions only.
+	Monitor *MonitorConfig
 	// Source describes where the generation came from (a model
 	// directory, "initial", ...), for operator-facing status output.
 	Source string
@@ -54,8 +69,26 @@ func (r *Registry) Current() *ModelVersion {
 }
 
 // Swap atomically installs det as the next generation and returns it.
-// In-flight readers holding the previous generation are unaffected.
+// In-flight readers holding the previous generation are unaffected. The
+// new generation carries no calibrated monitor config: new sessions fall
+// back to the engine-wide defaults until SwapCalibrated installs floors
+// calibrated for these weights.
 func (r *Registry) Swap(det *Detector, source string) (*ModelVersion, error) {
+	return r.swap(det, nil, source)
+}
+
+// SwapCalibrated installs det together with the monitor configuration
+// calibrated for it (the retrain pipeline's path): sessions starting on
+// the new generation score with the new weights under the new floors,
+// atomically.
+func (r *Registry) SwapCalibrated(det *Detector, monitor MonitorConfig, source string) (*ModelVersion, error) {
+	if err := monitor.validate(); err != nil {
+		return nil, fmt.Errorf("core: registry: calibrated monitor: %w", err)
+	}
+	return r.swap(det, &monitor, source)
+}
+
+func (r *Registry) swap(det *Detector, monitor *MonitorConfig, source string) (*ModelVersion, error) {
 	if err := validateGeneration(det); err != nil {
 		return nil, err
 	}
@@ -64,6 +97,7 @@ func (r *Registry) Swap(det *Detector, source string) (*ModelVersion, error) {
 	next := &ModelVersion{
 		Version:  r.cur.Load().Version + 1,
 		Det:      det,
+		Monitor:  monitor,
 		Source:   source,
 		LoadedAt: time.Now(),
 	}
@@ -71,11 +105,22 @@ func (r *Registry) Swap(det *Detector, source string) (*ModelVersion, error) {
 	return next, nil
 }
 
-// LoadFrom reads a saved detector from dir and swaps it in.
+// LoadFrom reads a saved detector from dir and swaps it in. When the
+// directory carries a ThresholdsFile fragment (written by the adaptation
+// pipeline or misusectl eval -thresholds), the calibrated monitor config
+// is installed with the generation.
 func (r *Registry) LoadFrom(dir string) (*ModelVersion, error) {
 	det, err := LoadDetector(dir)
 	if err != nil {
 		return nil, fmt.Errorf("core: registry reload: %w", err)
+	}
+	tp := filepath.Join(dir, ThresholdsFile)
+	if _, statErr := os.Stat(tp); statErr == nil {
+		monitor, err := LoadMonitorConfig(tp)
+		if err != nil {
+			return nil, fmt.Errorf("core: registry reload: %w", err)
+		}
+		return r.SwapCalibrated(det, monitor, dir)
 	}
 	return r.Swap(det, dir)
 }

@@ -1,0 +1,111 @@
+// Package drift detects distribution change in the session-likelihood
+// statistics flowing out of the serving engine: the signal that the
+// behavior models trained on a historical window have gone stale. It is
+// pure sequential statistics over float64 observations — no dependency
+// on the serving stack — composed by Monitor into the per-cluster
+// detector bank the adaptation pipeline consumes.
+//
+// Three detector families cover the drift modes a deployed misuse
+// detector meets:
+//
+//   - PageHinkley: sequential change-point detection on the mean of the
+//     smoothed session likelihoods — gradual or abrupt mean shift
+//     ("users slowly stop behaving like the training window").
+//   - KSWindow: a two-sample Kolmogorov–Smirnov test of a sliding recent
+//     window against a reference window frozen when the model was
+//     loaded — shape change that leaves the mean alone.
+//   - UnknownRate: the fraction of submitted actions outside the model
+//     vocabulary — vocabulary drift ("the portal shipped new screens"),
+//     invisible to likelihood statistics because unknown actions cannot
+//     be scored at all.
+package drift
+
+import "fmt"
+
+// PHConfig tunes a Page–Hinkley detector.
+type PHConfig struct {
+	// Delta is the magnitude tolerance: mean drops smaller than Delta
+	// per observation never accumulate. Defaults to 0.005.
+	Delta float64 `json:"delta"`
+	// Lambda is the alarm threshold on the accumulated statistic; larger
+	// values trade detection lag for fewer false alarms. Defaults to 1.
+	Lambda float64 `json:"lambda"`
+	// MinObservations suppresses alarms until the running mean has
+	// settled. Defaults to 20.
+	MinObservations int `json:"min_observations"`
+}
+
+func (c *PHConfig) setDefaults() {
+	if c.Delta == 0 {
+		c.Delta = 0.005
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 20
+	}
+}
+
+func (c *PHConfig) validate() error {
+	if c.Delta < 0 {
+		return fmt.Errorf("drift: PH Delta must be >= 0, got %v", c.Delta)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("drift: PH Lambda must be > 0, got %v", c.Lambda)
+	}
+	if c.MinObservations < 1 {
+		return fmt.Errorf("drift: PH MinObservations must be >= 1, got %d", c.MinObservations)
+	}
+	return nil
+}
+
+// PageHinkley is the classic sequential test for a downward shift of the
+// mean (likelihoods falling = behavior drifting away from the model):
+// it accumulates m_T = Σ (mean_t - x_t - δ) and alarms when m_T rises
+// more than λ above its running minimum. Not safe for concurrent use;
+// Monitor serializes access.
+type PageHinkley struct {
+	cfg    PHConfig
+	n      int
+	mean   float64
+	cum    float64
+	minCum float64
+}
+
+// NewPageHinkley builds a detector, applying defaults for zero fields.
+func NewPageHinkley(cfg PHConfig) (*PageHinkley, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &PageHinkley{cfg: cfg}, nil
+}
+
+// Observe consumes one observation and reports whether the accumulated
+// downward deviation crossed the alarm threshold.
+func (p *PageHinkley) Observe(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.cum += p.mean - x - p.cfg.Delta
+	if p.cum < p.minCum {
+		p.minCum = p.cum
+	}
+	return p.n >= p.cfg.MinObservations && p.Statistic() > p.cfg.Lambda
+}
+
+// Statistic returns the current test statistic m_T - min m_t; the alarm
+// fires when it exceeds Lambda.
+func (p *PageHinkley) Statistic() float64 { return p.cum - p.minCum }
+
+// Observations returns the number of consumed observations.
+func (p *PageHinkley) Observations() int { return p.n }
+
+// Mean returns the running mean of the observations.
+func (p *PageHinkley) Mean() float64 { return p.mean }
+
+// Reset forgets all state (after a model swap: the new generation's
+// likelihood scale is a fresh distribution).
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.cum, p.minCum = 0, 0, 0, 0
+}

@@ -1,0 +1,110 @@
+package drift
+
+import "fmt"
+
+// UnknownConfig tunes the vocabulary-drift detector.
+type UnknownConfig struct {
+	// Window is the number of recent sessions the rate is computed over.
+	// Defaults to 30.
+	Window int `json:"window"`
+	// MaxRate is the tolerated fraction of submitted actions outside the
+	// model vocabulary; sustained rates above it signal vocabulary
+	// drift. Defaults to 0.05.
+	MaxRate float64 `json:"max_rate"`
+	// MinActions suppresses the test until the window holds at least
+	// this many actions, so a handful of early typo'd events cannot
+	// trigger a retrain. Defaults to 200.
+	MinActions int `json:"min_actions"`
+}
+
+func (c *UnknownConfig) setDefaults() {
+	if c.Window == 0 {
+		c.Window = 30
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 0.05
+	}
+	if c.MinActions == 0 {
+		c.MinActions = 200
+	}
+}
+
+func (c *UnknownConfig) validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("drift: Unknown Window must be >= 1, got %d", c.Window)
+	}
+	if c.MaxRate <= 0 || c.MaxRate >= 1 {
+		return fmt.Errorf("drift: Unknown MaxRate %v outside (0,1)", c.MaxRate)
+	}
+	if c.MinActions < 1 {
+		return fmt.Errorf("drift: Unknown MinActions must be >= 1, got %d", c.MinActions)
+	}
+	return nil
+}
+
+// UnknownRate watches the fraction of actions the models could not score
+// at all because the action name is outside the training vocabulary —
+// the one drift mode likelihood statistics are blind to, since unknown
+// actions never reach the sequence models. Not safe for concurrent use;
+// Monitor serializes access.
+type UnknownRate struct {
+	cfg     UnknownConfig
+	known   []int // per-session scored-action counts, ring
+	unknown []int
+	next    int
+	filled  int
+}
+
+// NewUnknownRate builds a detector, applying defaults for zero fields.
+func NewUnknownRate(cfg UnknownConfig) (*UnknownRate, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &UnknownRate{
+		cfg:     cfg,
+		known:   make([]int, cfg.Window),
+		unknown: make([]int, cfg.Window),
+	}, nil
+}
+
+// Observe consumes one finished session's scored and unknown action
+// counts and reports whether the windowed unknown rate exceeds the
+// tolerance.
+func (u *UnknownRate) Observe(known, unknown int) bool {
+	u.known[u.next] = known
+	u.unknown[u.next] = unknown
+	u.next = (u.next + 1) % u.cfg.Window
+	if u.filled < u.cfg.Window {
+		u.filled++
+	}
+	rate, total := u.snapshot()
+	return total >= u.cfg.MinActions && rate > u.cfg.MaxRate
+}
+
+// Rate returns the current windowed unknown-action fraction.
+func (u *UnknownRate) Rate() float64 {
+	rate, _ := u.snapshot()
+	return rate
+}
+
+func (u *UnknownRate) snapshot() (rate float64, total int) {
+	var k, un int
+	for i := 0; i < u.filled; i++ {
+		k += u.known[i]
+		un += u.unknown[i]
+	}
+	total = k + un
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(un) / float64(total), total
+}
+
+// Reset forgets the window.
+func (u *UnknownRate) Reset() {
+	for i := range u.known {
+		u.known[i], u.unknown[i] = 0, 0
+	}
+	u.next, u.filled = 0, 0
+}

@@ -1,0 +1,91 @@
+package logsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"misusedetect/internal/actionlog"
+)
+
+// Drift perturbs simulated sessions to model the ways production
+// behavior departs from the training window: habits loosening (swapped
+// and inserted actions lower the sequence likelihoods — mean shift) and
+// the action vocabulary itself growing (new screens shipped — actions
+// the deployed models have never seen). The adaptation tests and the
+// adaptive-serving example inject drift with it.
+type Drift struct {
+	// SwapRate is the per-action probability of replacing the action
+	// with a uniformly random in-vocabulary one: behavior blurring that
+	// shifts the likelihood mean down without new action names.
+	SwapRate float64
+	// InsertRate is the per-action probability of inserting one random
+	// in-vocabulary action after it.
+	InsertRate float64
+	// NewActionRate is the per-action probability of replacing the
+	// action with one drawn from NewActions: vocabulary drift.
+	NewActionRate float64
+	// NewActions is the pool of out-of-vocabulary action names; required
+	// when NewActionRate > 0. NewActionNames builds a pool.
+	NewActions []string
+	// Seed makes the perturbation reproducible.
+	Seed int64
+}
+
+func (d *Drift) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"SwapRate", d.SwapRate}, {"InsertRate", d.InsertRate}, {"NewActionRate", d.NewActionRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("logsim: drift %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if d.NewActionRate > 0 && len(d.NewActions) == 0 {
+		return fmt.Errorf("logsim: drift NewActionRate %v needs NewActions", d.NewActionRate)
+	}
+	return nil
+}
+
+// NewActionNames returns n fresh action names ("ActionDrift00", ...)
+// guaranteed outside the simulator vocabulary.
+func NewActionNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("ActionDrift%02d", i)
+	}
+	return out
+}
+
+// ApplyDrift returns perturbed deep copies of the sessions (IDs and
+// cluster labels are kept; callers relabel if they need uniqueness). The
+// originals are never modified.
+func ApplyDrift(sessions []*actionlog.Session, vocab *actionlog.Vocabulary, d Drift) ([]*actionlog.Session, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if vocab == nil || vocab.Size() == 0 {
+		return nil, fmt.Errorf("logsim: drift needs a vocabulary")
+	}
+	names := vocab.Actions()
+	rng := rand.New(rand.NewSource(d.Seed))
+	out := make([]*actionlog.Session, len(sessions))
+	for i, s := range sessions {
+		c := s.Clone()
+		perturbed := make([]string, 0, len(c.Actions)+2)
+		for _, a := range c.Actions {
+			switch {
+			case d.NewActionRate > 0 && rng.Float64() < d.NewActionRate:
+				a = d.NewActions[rng.Intn(len(d.NewActions))]
+			case d.SwapRate > 0 && rng.Float64() < d.SwapRate:
+				a = names[rng.Intn(len(names))]
+			}
+			perturbed = append(perturbed, a)
+			if d.InsertRate > 0 && rng.Float64() < d.InsertRate {
+				perturbed = append(perturbed, names[rng.Intn(len(names))])
+			}
+		}
+		c.Actions = perturbed
+		out[i] = c
+	}
+	return out, nil
+}

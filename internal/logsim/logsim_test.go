@@ -1,6 +1,7 @@
 package logsim
 
 import (
+	"strings"
 	"testing"
 
 	"misusedetect/internal/actionlog"
@@ -286,5 +287,73 @@ func TestScaledConfigFloors(t *testing.T) {
 	cfg2 := ScaledConfig(1, 0)
 	if cfg2.Sessions != 15000 {
 		t.Fatalf("factor<1 should clamp to paper scale, got %d", cfg2.Sessions)
+	}
+}
+
+func TestApplyDrift(t *testing.T) {
+	corpus, err := Generate(ScaledConfig(5, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := corpus.Sessions[:20]
+	pool := NewActionNames(4)
+	drifted, err := ApplyDrift(sessions, corpus.Vocabulary, Drift{
+		SwapRate: 0.2, InsertRate: 0.1, NewActionRate: 0.1, NewActions: pool, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifted) != len(sessions) {
+		t.Fatalf("drifted %d sessions, want %d", len(drifted), len(sessions))
+	}
+	changed, novel, inserted := 0, 0, 0
+	poolSet := map[string]bool{}
+	for _, a := range pool {
+		poolSet[a] = true
+	}
+	for i, d := range drifted {
+		orig := sessions[i]
+		if d == orig {
+			t.Fatal("drift must clone, not alias")
+		}
+		if d.ID != orig.ID || d.Cluster != orig.Cluster {
+			t.Fatalf("drift changed identity: %s/%d vs %s/%d", d.ID, d.Cluster, orig.ID, orig.Cluster)
+		}
+		if len(d.Actions) > len(orig.Actions) {
+			inserted++
+		}
+		for j, a := range d.Actions {
+			if poolSet[a] {
+				novel++
+			}
+			if j < len(orig.Actions) && a != orig.Actions[j] {
+				changed++
+			}
+		}
+	}
+	if changed == 0 || novel == 0 || inserted == 0 {
+		t.Fatalf("drift too weak: changed=%d novel=%d insertedSessions=%d", changed, novel, inserted)
+	}
+	// Determinism: the same seed reproduces the same perturbation.
+	again, err := ApplyDrift(sessions, corpus.Vocabulary, Drift{
+		SwapRate: 0.2, InsertRate: 0.1, NewActionRate: 0.1, NewActions: pool, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if strings.Join(again[i].Actions, ",") != strings.Join(drifted[i].Actions, ",") {
+			t.Fatalf("drift not deterministic at session %d", i)
+		}
+	}
+	// Validation.
+	if _, err := ApplyDrift(sessions, corpus.Vocabulary, Drift{SwapRate: 2}); err == nil {
+		t.Fatal("out-of-range rate must fail")
+	}
+	if _, err := ApplyDrift(sessions, corpus.Vocabulary, Drift{NewActionRate: 0.1}); err == nil {
+		t.Fatal("NewActionRate without a pool must fail")
+	}
+	if _, err := ApplyDrift(sessions, nil, Drift{}); err == nil {
+		t.Fatal("nil vocabulary must fail")
 	}
 }

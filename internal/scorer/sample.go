@@ -1,0 +1,74 @@
+package scorer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample draws n synthetic sessions from a trained model by ancestral
+// sampling through its stream: each step samples the next action from
+// the predictive distribution the stream returns. Lengths are uniform in
+// [minLen, maxLen]. This is the distillation path of the adaptation
+// pipeline: when a behavior cluster has too little fresh traffic to
+// retrain from, sessions sampled from its stale model carry the old
+// generation's knowledge into a retrain under a new vocabulary.
+//
+// The first action of each session is drawn uniformly (streams only
+// expose conditional distributions); a short burn-in would bias rare
+// starts no worse, and session scoring ignores position 0 anyway.
+func Sample(s Scorer, n, minLen, maxLen int, seed int64) ([][]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scorer: sample count must be >= 1, got %d", n)
+	}
+	if minLen < 2 || maxLen < minLen {
+		return nil, fmt.Errorf("scorer: sample lengths [%d,%d] invalid (min >= 2)", minLen, maxLen)
+	}
+	vocab := s.VocabSize()
+	if vocab < 1 {
+		return nil, fmt.Errorf("scorer: model has empty vocabulary")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, n)
+	for i := range out {
+		length := minLen + rng.Intn(maxLen-minLen+1)
+		st := s.NewStream()
+		seq := make([]int, 0, length)
+		action := rng.Intn(vocab)
+		seq = append(seq, action)
+		for len(seq) < length {
+			_, dist, err := st.Observe(action)
+			if err != nil {
+				return nil, fmt.Errorf("scorer: sample session %d: %w", i, err)
+			}
+			action = sampleIndex(dist, rng, vocab)
+			seq = append(seq, action)
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// sampleIndex draws an index proportionally to the weights, falling back
+// to uniform when the distribution is empty or degenerate.
+func sampleIndex(dist []float64, rng *rand.Rand, vocab int) int {
+	var total float64
+	for _, w := range dist {
+		if w > 0 {
+			total += w
+		}
+	}
+	if len(dist) == 0 || total <= 0 {
+		return rng.Intn(vocab)
+	}
+	x := rng.Float64() * total
+	for i, w := range dist {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

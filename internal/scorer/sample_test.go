@@ -1,0 +1,71 @@
+package scorer
+
+import "testing"
+
+func TestSampleFollowsModelDistribution(t *testing.T) {
+	// A near-deterministic 3-action cycle: 0 -> 1 -> 2 -> 0.
+	f := &fakeScorer{Tag: "fake", Table: [][]float64{
+		{0.02, 0.96, 0.02},
+		{0.02, 0.02, 0.96},
+		{0.96, 0.02, 0.02},
+	}}
+	sessions, err := Sample(f, 40, 6, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 40 {
+		t.Fatalf("sampled %d sessions, want 40", len(sessions))
+	}
+	cycle, total := 0, 0
+	for _, seq := range sessions {
+		if len(seq) < 6 || len(seq) > 12 {
+			t.Fatalf("session length %d outside [6,12]", len(seq))
+		}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < 0 || seq[i] >= 3 {
+				t.Fatalf("sampled action %d outside vocabulary", seq[i])
+			}
+			if seq[i] == (seq[i-1]+1)%3 {
+				cycle++
+			}
+			total++
+		}
+	}
+	// With 96% transition mass on the cycle, the samples must follow it
+	// overwhelmingly — that is what makes distillation carry the stale
+	// model's structure.
+	if frac := float64(cycle) / float64(total); frac < 0.85 {
+		t.Fatalf("only %.2f of transitions follow the model's cycle", frac)
+	}
+	// Determinism: one seed, one sample stream.
+	again, err := Sample(f, 40, 6, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if len(again[i]) != len(sessions[i]) {
+			t.Fatalf("sampling not deterministic at session %d", i)
+		}
+		for j := range again[i] {
+			if again[i][j] != sessions[i][j] {
+				t.Fatalf("sampling not deterministic at session %d position %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	f := &fakeScorer{Tag: "fake", Table: [][]float64{{1}}}
+	if _, err := Sample(f, 0, 6, 12, 1); err == nil {
+		t.Fatal("zero sessions must fail")
+	}
+	if _, err := Sample(f, 1, 1, 12, 1); err == nil {
+		t.Fatal("minLen < 2 must fail")
+	}
+	if _, err := Sample(f, 1, 6, 5, 1); err == nil {
+		t.Fatal("maxLen < minLen must fail")
+	}
+	if _, err := Sample(&fakeScorer{Tag: "fake", Table: nil}, 1, 2, 4, 1); err == nil {
+		t.Fatal("empty vocabulary must fail")
+	}
+}
