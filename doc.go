@@ -44,8 +44,18 @@
 // (add -addr to measure a live daemon; -thresholds to emit the
 // calibrated fragment; -min-auc as a CI gate), `misusectl bench`
 // measures serving latency percentiles (p50/p95/p99 ingest and
-// per-action scoring) and events/sec across backends and shard counts,
-// in-process or against a live daemon with -addr.
+// per-action scoring), events/sec, and allocations per event across
+// backends, shard counts, and submission batch sizes (-batch), adding
+// wire-level rows against a live daemon with -addr; -json emits the
+// BENCH_ingest.json report CI archives, and -min-batch-speedup gates
+// the wire batch/single throughput ratio.
+//
+// Ingestion is batched and token-based end to end: the daemon accepts
+// {"batch":[...]} frames beside single-event lines, interns each action
+// name to an integer token exactly once at the wire edge
+// (actionlog.Interner, with a zero-copy fast parse for known names),
+// and the engine moves pre-tokenized events through pooled per-shard
+// batches — see ARCHITECTURE.md's ingestion section.
 //
 // The serving stack is self-maintaining: internal/drift runs online
 // drift detection over the session summaries the engine emits —

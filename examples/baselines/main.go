@@ -146,7 +146,11 @@ func run() error {
 	stream = append(stream, random[0].Actions...)
 	firstAlarm := -1
 	for i, a := range stream {
-		step, err := mon.ObserveAction(a)
+		tok := ngDet.Token(a)
+		if tok < 0 {
+			return fmt.Errorf("action %q outside the model vocabulary", a)
+		}
+		step, err := mon.ObserveToken(tok)
 		if err != nil {
 			return err
 		}

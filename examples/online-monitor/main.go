@@ -62,7 +62,13 @@ func run() error {
 	fmt.Println("pos  action                        likelihood  smoothed  alarms")
 	firstAlarm := -1
 	for _, action := range session {
-		step, err := mon.ObserveAction(action)
+		// Resolve the action name to its token once at the edge, the way
+		// the serving engine's interner does.
+		tok := detector.Token(action)
+		if tok < 0 {
+			return fmt.Errorf("action %q outside the model vocabulary", action)
+		}
+		step, err := mon.ObserveToken(tok)
 		if err != nil {
 			return err
 		}

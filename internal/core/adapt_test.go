@@ -84,12 +84,20 @@ func TestEngineSessionSummariesOnFlush(t *testing.T) {
 	if a.ModelVersion != 1 || b.ModelVersion != 1 {
 		t.Fatalf("model versions = %d/%d", a.ModelVersion, b.ModelVersion)
 	}
-	if got := len(b.Actions); got != 6 {
-		t.Fatalf("s-b recorded %d actions, want all 6 submitted", got)
+	if got := len(b.Tokens); got != 6 {
+		t.Fatalf("s-b recorded %d tokens, want all 6 submitted", got)
+	}
+	if b.Snap == nil {
+		t.Fatal("recorded summary carries no interner snapshot")
 	}
 	sess := b.Session()
 	if sess == nil || sess.ID != "s-b" || sess.User != "u-s-b" || len(sess.Actions) != 6 {
 		t.Fatalf("rebuilt session = %+v", sess)
+	}
+	// The out-of-vocabulary action was learned by the edge interner, so
+	// the rebuilt session preserves it by name.
+	if sess.Actions[2] != "ActionNotInVocab" {
+		t.Fatalf("rebuilt session lost the unknown action: %v", sess.Actions)
 	}
 	if st := engine.Stats(); st.SessionsLive != 0 {
 		t.Fatalf("sessions live after flush = %d", st.SessionsLive)
@@ -125,9 +133,9 @@ func TestEngineCloseEmitsSummaries(t *testing.T) {
 	if len(sums) != 1 || sums["s-close"].Observed != 4 {
 		t.Fatalf("summaries after close = %+v", sums)
 	}
-	// Without RecordSessions the summary must not carry actions.
-	if sums["s-close"].Actions != nil {
-		t.Fatal("actions recorded without RecordSessions")
+	// Without RecordSessions the summary must not carry tokens.
+	if sums["s-close"].Tokens != nil || sums["s-close"].Snap != nil {
+		t.Fatal("tokens recorded without RecordSessions")
 	}
 }
 
@@ -299,7 +307,11 @@ func TestRetrainDetectorVocabularyGrowth(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, a := range []string{"a0", "a1", "zz-new", "a2"} {
-		if _, err := mon.ObserveAction(a); err != nil {
+		tok := det.Token(a)
+		if tok < 0 {
+			t.Fatalf("grown vocabulary misses %q", a)
+		}
+		if _, err := mon.ObserveToken(tok); err != nil {
 			t.Fatalf("monitor on grown vocabulary: %v", err)
 		}
 	}

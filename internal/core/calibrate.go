@@ -34,7 +34,11 @@ func (d *Detector) monitorMinima(base MonitorConfig, validation []*actionlog.Ses
 		}
 		sessionMin := -1.0
 		for _, a := range sess.Actions {
-			step, err := mon.ObserveAction(a)
+			tok := d.Token(a)
+			if tok < 0 {
+				return nil, fmt.Errorf("core: calibrate on %s: unknown action %q", sess.ID, a)
+			}
+			step, err := mon.ObserveToken(tok)
 			if err != nil {
 				return nil, fmt.Errorf("core: calibrate on %s: %w", sess.ID, err)
 			}

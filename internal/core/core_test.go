@@ -51,6 +51,22 @@ func testConfig(vocab int) Config {
 	return cfg
 }
 
+// observeName resolves an action name through the detector's vocabulary
+// and feeds the monitor: the test-side equivalent of the edge interning
+// the serving engine performs.
+func observeName(t testing.TB, d *Detector, mon *SessionMonitor, a string) MonitorStep {
+	t.Helper()
+	tok := d.Token(a)
+	if tok < 0 {
+		t.Fatalf("unknown action %q", a)
+	}
+	step, err := mon.ObserveToken(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return step
+}
+
 func trainedDetector(t *testing.T) (*Detector, *actionlog.Vocabulary, []*actionlog.Session) {
 	t.Helper()
 	vocab, sessions := testCorpus(t, 30)
@@ -290,10 +306,7 @@ func TestSessionMonitorNormalSessionQuiet(t *testing.T) {
 	}
 	alarms := 0
 	for _, a := range sessions[0].Actions {
-		step, err := mon.ObserveAction(a)
-		if err != nil {
-			t.Fatal(err)
-		}
+		step := observeName(t, d, mon, a)
 		alarms += len(step.Alarms)
 	}
 	if alarms > 0 {
@@ -319,15 +332,10 @@ func TestSessionMonitorAlarmsOnAnomaly(t *testing.T) {
 	names := vocab.Actions()
 	alarms := 0
 	for _, a := range prefix {
-		if _, err := mon.ObserveAction(a); err != nil {
-			t.Fatal(err)
-		}
+		observeName(t, d, mon, a)
 	}
 	for i := 0; i < 30; i++ {
-		step, err := mon.ObserveAction(names[rng.Intn(len(names))])
-		if err != nil {
-			t.Fatal(err)
-		}
+		step := observeName(t, d, mon, names[rng.Intn(len(names))])
 		alarms += len(step.Alarms)
 	}
 	if alarms == 0 {
@@ -352,9 +360,12 @@ func TestSessionMonitorValidation(t *testing.T) {
 	if _, err := d.NewSessionMonitor(bad); err == nil {
 		t.Fatal("bad trend drop must fail")
 	}
+	if d.Token("no-such-action") != actionlog.TokenUnknown {
+		t.Fatal("unknown action must resolve to TokenUnknown")
+	}
 	mon, _ := d.NewSessionMonitor(DefaultMonitorConfig())
-	if _, err := mon.ObserveAction("no-such-action"); err == nil {
-		t.Fatal("unknown action must fail")
+	if _, err := mon.ObserveToken(d.Vocabulary().Size()); err == nil {
+		t.Fatal("out-of-range token must fail")
 	}
 }
 
@@ -442,10 +453,7 @@ func TestCalibrateMonitorPerCluster(t *testing.T) {
 		}
 		sessionFired := false
 		for _, a := range s.Actions {
-			step, err := mon.ObserveAction(a)
-			if err != nil {
-				t.Fatal(err)
-			}
+			step := observeName(t, d, mon, a)
 			for _, k := range step.Alarms {
 				if k == AlarmLowLikelihood {
 					sessionFired = true
@@ -493,10 +501,7 @@ func TestMonitorClusterFloors(t *testing.T) {
 	}
 	alarms := 0
 	for _, a := range s.Actions {
-		step, err := mon.ObserveAction(a)
-		if err != nil {
-			t.Fatal(err)
-		}
+		step := observeName(t, d, mon, a)
 		alarms += len(step.Alarms)
 	}
 	if alarms == 0 {
@@ -578,10 +583,7 @@ func TestCalibrateMonitor(t *testing.T) {
 		}
 		fired := false
 		for _, a := range s.Actions {
-			step, err := mon.ObserveAction(a)
-			if err != nil {
-				t.Fatal(err)
-			}
+			step := observeName(t, d, mon, a)
 			for _, k := range step.Alarms {
 				if k == AlarmLowLikelihood {
 					fired = true

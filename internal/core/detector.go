@@ -82,6 +82,16 @@ func trainCluster(cfg *Config, vocab *actionlog.Vocabulary, feat *ocsvm.Featuriz
 	if err != nil {
 		return ClusterModel{}, fmt.Errorf("core: encode cluster %d: %w", ci, err)
 	}
+	return trainClusterEncoded(cfg, vocab, feat, encoded, len(filtered), ci, progress)
+}
+
+// trainClusterEncoded fits one cluster from sessions already encoded to
+// vocabulary indices (the token-native retrain path skips the string
+// encode entirely).
+func trainClusterEncoded(cfg *Config, vocab *actionlog.Vocabulary, feat *ocsvm.Featurizer, encoded [][]int, trainSize, ci int, progress func(int, nn.EpochStats)) (ClusterModel, error) {
+	if len(encoded) == 0 {
+		return ClusterModel{}, fmt.Errorf("core: cluster %d has no trainable sessions", ci)
+	}
 	features, err := feat.Corpus(encoded)
 	if err != nil {
 		return ClusterModel{}, fmt.Errorf("core: featurize cluster %d: %w", ci, err)
@@ -92,7 +102,7 @@ func trainCluster(cfg *Config, vocab *actionlog.Vocabulary, feat *ocsvm.Featuriz
 	if err != nil {
 		return ClusterModel{}, fmt.Errorf("core: train OC-SVM %d: %w", ci, err)
 	}
-	cm := ClusterModel{Router: router, TrainSize: len(filtered)}
+	cm := ClusterModel{Router: router, TrainSize: trainSize}
 	if err := cm.train(cfg, vocab, encoded, ci, progress); err != nil {
 		return ClusterModel{}, err
 	}
@@ -145,6 +155,19 @@ func (d *Detector) Backend() string { return d.cfg.backend() }
 
 // Vocabulary returns the detector's action vocabulary.
 func (d *Detector) Vocabulary() *actionlog.Vocabulary { return d.vocab }
+
+// Token resolves an action name to the detector's vocabulary index, or
+// actionlog.TokenUnknown (-1) for actions outside the vocabulary: the
+// cold-path edge interning for callers that drive a SessionMonitor
+// directly (the serving engine interns through its actionlog.Interner
+// instead).
+func (d *Detector) Token(action string) int {
+	i, err := d.vocab.Index(action)
+	if err != nil {
+		return actionlog.TokenUnknown
+	}
+	return i
+}
 
 // ClusterCount returns the number of behavior clusters.
 func (d *Detector) ClusterCount() int { return len(d.clusters) }
@@ -203,9 +226,10 @@ func (d *Detector) RouteByVote(encoded []int) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("core: vote featurize: %w", err)
 		}
+		support := stream.Support()
 		best, bestS := 0, math.Inf(-1)
 		for i := range d.clusters {
-			s, err := d.clusters[i].Router.Score(x)
+			s, err := d.clusters[i].Router.ScoreSparse(x, support)
 			if err != nil {
 				return 0, fmt.Errorf("core: vote score cluster %d: %w", i, err)
 			}

@@ -36,9 +36,10 @@ type EngineConfig struct {
 	// Shards is the number of independent scoring shards; session IDs are
 	// hashed onto them. Defaults to 4.
 	Shards int
-	// QueueDepth is the per-shard event buffer. A full queue blocks
-	// Submit: backpressure propagates to the producer instead of growing
-	// memory without bound. Defaults to 256.
+	// QueueDepth is the per-shard event buffer, counted in queue messages
+	// (a batch occupies one slot regardless of size). A full queue blocks
+	// Submit and SubmitBatch: backpressure propagates to the producer
+	// instead of growing memory without bound. Defaults to 256.
 	QueueDepth int
 	// IdleExpiry evicts sessions that have not seen an event for this
 	// long; 0 disables eviction (replay and tests).
@@ -55,13 +56,15 @@ type EngineConfig struct {
 	// safe to call from multiple goroutines concurrently; the adaptation
 	// pipeline hangs off this hook.
 	OnSessionEnd func(SessionSummary)
-	// RecordSessions keeps each live session's submitted action names
+	// RecordSessions keeps each live session's submitted action tokens
 	// (up to MaxRecordedActions) so the SessionSummary can carry the
 	// replayable session — the raw material of drift-triggered
-	// retraining. Off by default: pure serving should not pay the
-	// per-session memory.
+	// retraining. Tokens, not names: the summary's interner snapshot
+	// decodes them, so recording costs 4 bytes per action and retraining
+	// never re-interns strings. Off by default: pure serving should not
+	// pay the per-session memory.
 	RecordSessions bool
-	// MaxRecordedActions bounds the recorded actions per session when
+	// MaxRecordedActions bounds the recorded tokens per session when
 	// RecordSessions is set; 0 defaults to 512. Sessions running past
 	// the cap keep scoring but stop recording.
 	MaxRecordedActions int
@@ -72,7 +75,8 @@ type EngineConfig struct {
 // SessionSummary describes one finished session as the engine saw it:
 // identity, routing, the generation that scored it, and the likelihood
 // statistics drift detection feeds on. When EngineConfig.RecordSessions
-// is set it also carries the submitted action names.
+// is set it also carries the submitted action tokens plus the interner
+// snapshot that decodes them.
 type SessionSummary struct {
 	SessionID string
 	// User and Start come from the session's first event.
@@ -83,8 +87,10 @@ type SessionSummary struct {
 	// ModelVersion is the registry generation the session was pinned to.
 	ModelVersion uint64
 	// Observed counts the actions the session's monitor scored; Unknown
-	// counts submitted actions the monitor rejected (outside the model
-	// vocabulary) — the raw signal of vocabulary drift.
+	// counts submitted actions outside the session's model vocabulary —
+	// the raw signal of vocabulary drift. Unknown actions still carry
+	// real tokens (the interner learns them), so retraining can absorb
+	// them.
 	Observed int
 	Unknown  int
 	// Alarms is the number of alarms the session raised.
@@ -95,22 +101,35 @@ type SessionSummary struct {
 	MinSmoothed float64
 	// LastSmoothed is the final EWMA value (-1 if nothing scored).
 	LastSmoothed float64
-	// Actions holds the submitted action names when recording was
-	// enabled (truncated at MaxRecordedActions), nil otherwise.
-	Actions []string
+	// Tokens holds the submitted action tokens when recording was
+	// enabled (truncated at MaxRecordedActions), nil otherwise; Snap is
+	// the interner snapshot that resolves them (taken at session end, so
+	// it covers every recorded token).
+	Tokens []int32
+	Snap   *actionlog.InternSnapshot
 }
 
 // Session rebuilds the replayable session from a recorded summary, or
-// nil when the engine was not recording actions.
+// nil when the engine was not recording actions. Token decoding is an
+// array index per action, not a string lookup.
 func (s *SessionSummary) Session() *actionlog.Session {
-	if len(s.Actions) == 0 {
+	if len(s.Tokens) == 0 || s.Snap == nil {
+		return nil
+	}
+	actions := make([]string, 0, len(s.Tokens))
+	for _, t := range s.Tokens {
+		if name, ok := s.Snap.Name(t); ok {
+			actions = append(actions, name)
+		}
+	}
+	if len(actions) == 0 {
 		return nil
 	}
 	return &actionlog.Session{
 		ID:      s.SessionID,
 		User:    s.User,
 		Start:   s.Start,
-		Actions: s.Actions,
+		Actions: actions,
 		Cluster: s.Cluster,
 	}
 }
@@ -159,22 +178,128 @@ type EngineStats struct {
 	EventsSubmitted uint64 `json:"events_submitted"`
 	EventsProcessed uint64 `json:"events_processed"`
 	EventsInFlight  uint64 `json:"events_in_flight"`
+	// BatchesSubmitted counts SubmitBatch/SubmitTokens shard enqueues:
+	// EventsSubmitted over it is the realized amortization factor.
+	BatchesSubmitted uint64 `json:"batches_submitted"`
+	// InternedActions is the size of the edge interner's pool;
+	// LearnedActions is how many of those were learned from live traffic
+	// beyond the seed vocabulary (the vocabulary-drift surface).
+	InternedActions int    `json:"interned_actions"`
+	LearnedActions  int    `json:"learned_actions"`
 	SessionsLive    uint64 `json:"sessions_live"`
 	AlarmsRaised    uint64 `json:"alarms_raised"`
 	Evictions       uint64 `json:"evictions"`
 	ScoreErrors     uint64 `json:"score_errors"`
 }
 
-// shardMsg is one unit of shard work: an event to score, or a control
-// message — detach non-nil asks the shard to forget a sink, flush asks it
-// to evict every live session now.
+// BatchEvent is one pre-tokenized event: the wire edge interns the action
+// name during parse and hands the engine the resulting token, so the
+// string→ID lookup happens exactly once per event. Tok must come from
+// this engine's Interner (or be TokenUnknown).
+type BatchEvent struct {
+	Ev  actionlog.Event
+	Tok int32
+}
+
+// tokEvent is the engine-internal event record: interned token plus the
+// identity fields alarms and summaries need. action is kept only when
+// the interner could not issue a token (learn budget exhausted), so a
+// name that is nonetheless in a session's pinned model vocabulary can
+// still be scored through the direct-lookup fallback.
+type tokEvent struct {
+	seq       uint64
+	time      time.Time
+	sessionID string
+	user      string
+	action    string
+	tok       int32
+}
+
+// unknownAction returns the action name to carry for a token the
+// interner could not issue, and "" otherwise (the hot path never
+// retains the string).
+func unknownAction(tok int32, action string) string {
+	if tok < 0 {
+		return action
+	}
+	return ""
+}
+
+// eventBatch is one pooled unit of batched shard work: all events were
+// submitted in one SubmitBatch/SubmitTokens call and hash to the same
+// shard, so the shard pays a single channel receive for all of them.
+type eventBatch struct {
+	evs  []tokEvent
+	sink chan<- Alarm
+}
+
+// batchPool recycles eventBatch structs (and their event slices) between
+// producers and shard workers, keeping the batched hot path free of
+// per-batch heap churn.
+var batchPool = sync.Pool{
+	New: func() any { return &eventBatch{evs: make([]tokEvent, 0, 64)} },
+}
+
+func newEventBatch(sink chan<- Alarm) *eventBatch {
+	b := batchPool.Get().(*eventBatch)
+	b.sink = sink
+	return b
+}
+
+func releaseBatch(b *eventBatch) {
+	b.evs = b.evs[:0]
+	b.sink = nil
+	batchPool.Put(b)
+}
+
+// shardMsg is one unit of shard work: a single event, a batch of events,
+// or a control message — detach non-nil asks the shard to forget a sink,
+// flush asks it to evict every live session now.
 type shardMsg struct {
-	seq    uint64
-	ev     actionlog.Event
+	ev     tokEvent
 	sink   chan<- Alarm
+	batch  *eventBatch
 	detach chan<- Alarm
 	flush  bool
 	ack    chan<- struct{}
+}
+
+// remapTable translates interner tokens into one model generation's
+// vocabulary indices. It is shard-local (extended lazily as the interner
+// learns, only ever touched by the owning shard goroutine) and shared by
+// every session of that generation on the shard, so the steady-state
+// per-event cost is a single slice index.
+type remapTable struct {
+	vocab *actionlog.Vocabulary
+	toks  []int32
+}
+
+// lookup resolves an interner token to the table's vocabulary index, or
+// TokenUnknown. Tokens beyond the table are new interner learnings; the
+// table extends itself from the current snapshot (which, since the
+// interner only grows, covers every token ever issued).
+func (rt *remapTable) lookup(in *actionlog.Interner, tok int32) int32 {
+	if tok < 0 {
+		return actionlog.TokenUnknown
+	}
+	if int(tok) >= len(rt.toks) {
+		rt.extend(in.Snapshot())
+		if int(tok) >= len(rt.toks) {
+			return actionlog.TokenUnknown
+		}
+	}
+	return rt.toks[tok]
+}
+
+func (rt *remapTable) extend(snap *actionlog.InternSnapshot) {
+	for i := len(rt.toks); i < snap.Len(); i++ {
+		name, _ := snap.Name(int32(i))
+		if idx, err := rt.vocab.Index(name); err == nil {
+			rt.toks = append(rt.toks, int32(idx))
+		} else {
+			rt.toks = append(rt.toks, actionlog.TokenUnknown)
+		}
+	}
 }
 
 // engineSession is one live session owned by exactly one shard goroutine.
@@ -183,6 +308,7 @@ type shardMsg struct {
 // stamping. A model reload never touches existing sessions.
 type engineSession struct {
 	mon      *SessionMonitor
+	remap    *remapTable
 	version  uint64
 	sink     chan<- Alarm
 	lastSeen time.Time
@@ -190,7 +316,7 @@ type engineSession struct {
 	start    time.Time
 	alarms   int
 	unknown  int
-	actions  []string
+	tokens   []int32
 }
 
 // engineShard owns a partition of the session space: its goroutine is the
@@ -199,6 +325,9 @@ type engineShard struct {
 	e        *Engine
 	in       chan shardMsg
 	sessions map[string]*engineSession
+	// remaps caches one token→index table per model-generation
+	// vocabulary (shard-local, so no locking).
+	remaps map[*actionlog.Vocabulary]*remapTable
 }
 
 // Engine is the sharded concurrent scoring path: N shards, each with its
@@ -206,15 +335,25 @@ type engineShard struct {
 // channels. It is the concurrent superstructure over SessionMonitor that
 // the single-goroutine-per-connection seed server lacked.
 //
+// The event path is token-based end to end: Submit and SubmitBatch intern
+// each action name exactly once at the edge (SubmitTokens accepts events
+// the wire parser already interned), shard queues and session records
+// carry int32 tokens, and each shard remaps tokens to its sessions'
+// pinned model-generation vocabularies through cached index tables —
+// after the edge, an event is one interned int moving through a batched
+// queue.
+//
 // Ordering guarantees: events of one session are scored in submission
 // order (one session maps to one shard, and a shard consumes its queue
-// FIFO). Across sessions there is no ordering in streaming mode; in
-// deterministic mode DrainAlarms restores global submission order.
+// FIFO; a batch preserves its internal order). Across sessions there is
+// no ordering in streaming mode; in deterministic mode DrainAlarms
+// restores global submission order.
 type Engine struct {
-	reg    *Registry
-	cfg    EngineConfig
-	shards []*engineShard
-	wg     sync.WaitGroup
+	reg      *Registry
+	cfg      EngineConfig
+	interner *actionlog.Interner
+	shards   []*engineShard
+	wg       sync.WaitGroup
 
 	// mu guards closed against Submit/Close races: Submit holds the read
 	// lock across its channel send, Close flips closed under the write
@@ -225,6 +364,7 @@ type Engine struct {
 	seq         atomic.Uint64
 	submitted   atomic.Uint64
 	processed   atomic.Uint64
+	batches     atomic.Uint64
 	sessions    atomic.Int64
 	alarms      atomic.Uint64
 	evictions   atomic.Uint64
@@ -249,6 +389,10 @@ func NewEngine(det *Detector, cfg EngineConfig) (*Engine, error) {
 // every new session pins the registry generation current at its first
 // event, so Registry.Swap (or Engine.Reload) rolls new models out to
 // new sessions only — zero downtime, no mid-session weight mixing.
+//
+// The engine's interner is seeded with the initial generation's
+// vocabulary; later generations (even with different vocabularies) reuse
+// the same interner, remapping tokens per generation.
 func NewEngineRegistry(reg *Registry, cfg EngineConfig) (*Engine, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("core: engine: nil registry")
@@ -257,12 +401,17 @@ func NewEngineRegistry(reg *Registry, cfg EngineConfig) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{reg: reg, cfg: cfg}
+	e := &Engine{
+		reg:      reg,
+		cfg:      cfg,
+		interner: actionlog.NewInterner(reg.Current().Det.Vocabulary()),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &engineShard{
 			e:        e,
 			in:       make(chan shardMsg, cfg.QueueDepth),
 			sessions: make(map[string]*engineSession),
+			remaps:   make(map[*actionlog.Vocabulary]*remapTable),
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
@@ -277,6 +426,11 @@ func (e *Engine) Config() EngineConfig { return e.cfg }
 // Registry returns the engine's model registry.
 func (e *Engine) Registry() *Registry { return e.reg }
 
+// Interner returns the engine's edge interner. The wire layer interns
+// action names during parse with it and submits the resulting tokens via
+// SubmitTokens; its snapshots also decode recorded session summaries.
+func (e *Engine) Interner() *actionlog.Interner { return e.interner }
+
 // Reload atomically swaps in a new detector generation. In-flight
 // sessions keep scoring with the generation they started on; sessions
 // whose first event arrives after Reload use the new one. It returns
@@ -285,23 +439,24 @@ func (e *Engine) Reload(det *Detector, source string) (*ModelVersion, error) {
 	return e.reg.Swap(det, source)
 }
 
-// shardFor hashes a session ID onto its owning shard: inline FNV-1a so
-// the hot Submit path allocates nothing.
-func (e *Engine) shardFor(sessionID string) *engineShard {
+// shardIndex hashes a session ID onto its owning shard: inline FNV-1a so
+// the hot submit path allocates nothing.
+func (e *Engine) shardIndex(sessionID string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(sessionID); i++ {
 		h ^= uint32(sessionID[i])
 		h *= 16777619
 	}
-	return e.shards[int(h)%len(e.shards)]
+	return int(h) % len(e.shards)
 }
 
-// Submit routes one event to its session's shard. It blocks when the
-// shard's queue is full (bounded-channel backpressure) until the queue
-// drains, the context is canceled, or the engine is closed. In streaming
-// mode alarms raised by the event are sent to sink (a nil sink counts
-// alarms without delivering them); the session's sink is updated on every
-// event, so the latest submitting connection receives the alarms.
+// Submit routes one event to its session's shard, interning the action
+// name at this edge. It blocks when the shard's queue is full
+// (bounded-channel backpressure) until the queue drains, the context is
+// canceled, or the engine is closed. In streaming mode alarms raised by
+// the event are sent to sink (a nil sink counts alarms without delivering
+// them); the session's sink is updated on every event, so the latest
+// submitting connection receives the alarms.
 //
 // Sink contract: alarm sends block, so the caller must keep draining a
 // non-nil sink until Detach(sink) has returned — abandoning it can stall
@@ -315,14 +470,131 @@ func (e *Engine) Submit(ctx context.Context, ev actionlog.Event, sink chan<- Ala
 	if e.closed {
 		return fmt.Errorf("core: engine: closed")
 	}
-	msg := shardMsg{seq: e.seq.Add(1), ev: ev, sink: sink}
+	return e.sendOne(ctx, &ev, e.interner.Intern(ev.Action), sink)
+}
+
+// sendOne enqueues one tokenized event on its shard. The caller holds
+// the closed-guard read lock.
+func (e *Engine) sendOne(ctx context.Context, ev *actionlog.Event, tok int32, sink chan<- Alarm) error {
+	msg := shardMsg{
+		ev: tokEvent{
+			seq:       e.seq.Add(1),
+			time:      ev.Time,
+			sessionID: ev.SessionID,
+			user:      ev.User,
+			action:    unknownAction(tok, ev.Action),
+			tok:       tok,
+		},
+		sink: sink,
+	}
 	select {
-	case e.shardFor(ev.SessionID).in <- msg:
+	case e.shards[e.shardIndex(ev.SessionID)].in <- msg:
 		e.submitted.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// SubmitBatch interns and submits a batch of events in one pass: events
+// are grouped by owning shard into pooled batches, and each shard pays a
+// single channel receive for its whole group. Per-session submission
+// order is preserved. A full shard queue blocks (the same backpressure
+// contract as Submit); on context cancellation a prefix of the batch may
+// already have been submitted — the error reports how many events were
+// not.
+func (e *Engine) SubmitBatch(ctx context.Context, evs []actionlog.Event, sink chan<- Alarm) error {
+	for i := range evs {
+		if evs[i].SessionID == "" || evs[i].Action == "" {
+			return fmt.Errorf("core: engine: batch event %d missing session_id or action", i)
+		}
+	}
+	return e.submitTokenized(ctx, len(evs), func(i int) (*actionlog.Event, int32) {
+		return &evs[i], e.interner.Intern(evs[i].Action)
+	}, sink)
+}
+
+// SubmitTokens submits a batch of pre-tokenized events: the wire edge
+// interned each action during parse (via Interner), so the engine never
+// touches the action strings again. Semantics match SubmitBatch.
+func (e *Engine) SubmitTokens(ctx context.Context, evs []BatchEvent, sink chan<- Alarm) error {
+	for i := range evs {
+		if evs[i].Ev.SessionID == "" || (evs[i].Tok < 0 && evs[i].Ev.Action == "") {
+			return fmt.Errorf("core: engine: batch event %d missing session_id or action", i)
+		}
+	}
+	return e.submitTokenized(ctx, len(evs), func(i int) (*actionlog.Event, int32) {
+		return &evs[i].Ev, evs[i].Tok
+	}, sink)
+}
+
+// submitTokenized is the shared batch-submission body: sequence numbers
+// are assigned in input order (so deterministic replays are byte-identical
+// to per-event submission), events are packed into per-shard pooled
+// batches, and the batches are enqueued under the closed-guard read lock.
+func (e *Engine) submitTokenized(ctx context.Context, n int, at func(int) (*actionlog.Event, int32), sink chan<- Alarm) error {
+	if n == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("core: engine: closed")
+	}
+	if n == 1 {
+		// Single-event fast path: no pooled batch, one inline message.
+		ev, tok := at(0)
+		if err := e.sendOne(ctx, ev, tok, sink); err != nil {
+			return fmt.Errorf("core: engine: batch submit: 1 of 1 events not submitted: %w", err)
+		}
+		return nil
+	}
+	batches := make([]*eventBatch, len(e.shards))
+	for i := 0; i < n; i++ {
+		ev, tok := at(i)
+		si := e.shardIndex(ev.SessionID)
+		b := batches[si]
+		if b == nil {
+			b = newEventBatch(sink)
+			batches[si] = b
+		}
+		b.evs = append(b.evs, tokEvent{
+			seq:       e.seq.Add(1),
+			time:      ev.Time,
+			sessionID: ev.SessionID,
+			user:      ev.User,
+			action:    unknownAction(tok, ev.Action),
+			tok:       tok,
+		})
+	}
+	dropped := 0
+	var cause error
+	for si, b := range batches {
+		if b == nil {
+			continue
+		}
+		if cause != nil {
+			dropped += len(b.evs)
+			releaseBatch(b)
+			continue
+		}
+		// Snapshot the size before the send: the shard may process and
+		// recycle the batch the instant it lands on the channel.
+		size := uint64(len(b.evs))
+		select {
+		case e.shards[si].in <- shardMsg{batch: b}:
+			e.submitted.Add(size)
+			e.batches.Add(1)
+		case <-ctx.Done():
+			cause = ctx.Err()
+			dropped += int(size)
+			releaseBatch(b)
+		}
+	}
+	if cause != nil {
+		return fmt.Errorf("core: engine: batch submit: %d of %d events not submitted: %w", dropped, n, cause)
+	}
+	return nil
 }
 
 // Detach tells every shard to forget the given sink and blocks until all
@@ -391,20 +663,24 @@ func (e *Engine) Stats() EngineStats {
 		live = 0
 	}
 	mv := e.reg.Current()
+	snap := e.interner.Snapshot()
 	return EngineStats{
 		Shards:       len(e.shards),
 		Backend:      mv.Det.Backend(),
 		ModelVersion: mv.Version,
 		// Derived from the version so swaps through Registry() directly
 		// (not just Engine.Reload) are counted too.
-		Reloads:         mv.Version - 1,
-		EventsSubmitted: submitted,
-		EventsProcessed: processed,
-		EventsInFlight:  submitted - processed,
-		SessionsLive:    uint64(live),
-		AlarmsRaised:    e.alarms.Load(),
-		Evictions:       e.evictions.Load(),
-		ScoreErrors:     e.scoreErrors.Load(),
+		Reloads:          mv.Version - 1,
+		EventsSubmitted:  submitted,
+		EventsProcessed:  processed,
+		EventsInFlight:   submitted - processed,
+		BatchesSubmitted: e.batches.Load(),
+		InternedActions:  snap.Len(),
+		LearnedActions:   snap.Len() - snap.Base(),
+		SessionsLive:     uint64(live),
+		AlarmsRaised:     e.alarms.Load(),
+		Evictions:        e.evictions.Load(),
+		ScoreErrors:      e.scoreErrors.Load(),
 	}
 }
 
@@ -440,11 +716,19 @@ func (e *Engine) DrainAlarms(ctx context.Context) ([]Alarm, error) {
 	return out, nil
 }
 
-// Replay pushes a whole event stream through the sharded engine and
-// returns the alarms in submission order: the deterministic batch mode.
+// replayChunk is the SubmitBatch size Replay slices its stream into.
+const replayChunk = 256
+
+// Replay pushes a whole event stream through the sharded engine in
+// batches and returns the alarms in submission order: the deterministic
+// batch mode.
 func (e *Engine) Replay(ctx context.Context, events []actionlog.Event) ([]Alarm, error) {
-	for _, ev := range events {
-		if err := e.Submit(ctx, ev, nil); err != nil {
+	for off := 0; off < len(events); off += replayChunk {
+		end := off + replayChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := e.SubmitBatch(ctx, events[off:end], nil); err != nil {
 			return nil, err
 		}
 	}
@@ -467,7 +751,13 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// run is the shard loop: score queued events, evict idle sessions.
+// drainBurst caps how many queued messages a shard consumes back-to-back
+// before returning to the outer select, so sustained load cannot starve
+// the idle-eviction ticker.
+const drainBurst = 64
+
+// run is the shard loop: score queued events (draining bursts of the
+// queue per wakeup), evict idle sessions.
 func (s *engineShard) run() {
 	defer s.e.wg.Done()
 	var ticker *time.Ticker
@@ -480,39 +770,101 @@ func (s *engineShard) run() {
 	for {
 		select {
 		case msg, ok := <-s.in:
-			if !ok {
-				// Closing: every remaining session ends now, so the
-				// adaptation hook sees the complete picture.
-				s.evictAll()
-				return
-			}
-			if msg.detach != nil {
-				for _, sess := range s.sessions {
-					if sess.sink == msg.detach {
-						sess.sink = nil
-					}
+			// Opportunistic burst drain: after the blocking receive,
+			// consume whatever else is already queued without going
+			// back through the outer select.
+			for burst := 0; ; burst++ {
+				if !ok {
+					// Closing: every remaining session ends now, so
+					// the adaptation hook sees the complete picture.
+					s.evictAll()
+					return
 				}
-				msg.ack <- struct{}{}
-				continue
+				s.dispatch(msg)
+				if burst >= drainBurst {
+					break
+				}
+				select {
+				case msg, ok = <-s.in:
+					continue
+				default:
+				}
+				break
 			}
-			if msg.flush {
-				s.evictAll()
-				msg.ack <- struct{}{}
-				continue
-			}
-			s.process(msg)
 		case <-tick:
 			s.evictIdle(time.Now())
 		}
 	}
 }
 
-// process scores one event against its session monitor and routes any
-// alarms. Runs only on the shard goroutine: the session map and the
-// monitors (with their preallocated scratch buffers) are shard-local.
-func (s *engineShard) process(msg shardMsg) {
-	defer s.e.processed.Add(1)
-	sess, ok := s.sessions[msg.ev.SessionID]
+// dispatch routes one queue message: control, batch, or single event.
+func (s *engineShard) dispatch(msg shardMsg) {
+	switch {
+	case msg.detach != nil:
+		for _, sess := range s.sessions {
+			if sess.sink == msg.detach {
+				sess.sink = nil
+			}
+		}
+		msg.ack <- struct{}{}
+	case msg.flush:
+		s.evictAll()
+		msg.ack <- struct{}{}
+	case msg.batch != nil:
+		now := time.Now()
+		for i := range msg.batch.evs {
+			s.processEvent(&msg.batch.evs[i], msg.batch.sink, now)
+		}
+		s.e.processed.Add(uint64(len(msg.batch.evs)))
+		releaseBatch(msg.batch)
+	default:
+		now := time.Now()
+		s.processEvent(&msg.ev, msg.sink, now)
+		s.e.processed.Add(1)
+	}
+}
+
+// maxShardRemaps caps a shard's remap cache; crossing it triggers a
+// prune of tables for retired generations.
+const maxShardRemaps = 8
+
+// remapFor returns the shard's cached token→index table for a model
+// generation's vocabulary. Before caching yet another generation's
+// table, tables no live session references are pruned — a long-lived
+// daemon cycling through retrain/hot-swap generations would otherwise
+// retain one table per reload forever.
+func (s *engineShard) remapFor(vocab *actionlog.Vocabulary) *remapTable {
+	rt, ok := s.remaps[vocab]
+	if !ok {
+		if len(s.remaps) >= maxShardRemaps {
+			s.pruneRemaps()
+		}
+		rt = &remapTable{vocab: vocab}
+		s.remaps[vocab] = rt
+	}
+	return rt
+}
+
+// pruneRemaps drops cached tables whose vocabulary no live session on
+// this shard is pinned to. Runs only on the shard goroutine.
+func (s *engineShard) pruneRemaps() {
+	live := make(map[*actionlog.Vocabulary]bool, len(s.remaps))
+	for _, sess := range s.sessions {
+		live[sess.remap.vocab] = true
+	}
+	for v := range s.remaps {
+		if !live[v] {
+			delete(s.remaps, v)
+		}
+	}
+}
+
+// processEvent scores one tokenized event against its session monitor and
+// routes any alarms. Runs only on the shard goroutine: the session map,
+// the remap tables, and the monitors (with their preallocated scratch
+// buffers) are shard-local.
+func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Time) {
+	sess, ok := s.sessions[ev.sessionID]
 	if !ok {
 		// Pin the session to the registry generation current at its
 		// first event: the monitor holds that generation's detector, so
@@ -530,35 +882,65 @@ func (s *engineShard) process(msg shardMsg) {
 			// Config was validated at NewEngine; failing here means the
 			// detector itself is unusable.
 			s.e.scoreErrors.Add(1)
-			s.e.logf("session %s: %v", msg.ev.SessionID, err)
+			s.e.logf("session %s: %v", ev.sessionID, err)
 			return
 		}
-		sess = &engineSession{mon: mon, version: mv.Version, user: msg.ev.User, start: msg.ev.Time}
-		s.sessions[msg.ev.SessionID] = sess
+		sess = &engineSession{
+			mon:     mon,
+			remap:   s.remapFor(mv.Det.Vocabulary()),
+			version: mv.Version,
+			user:    ev.user,
+			start:   ev.time,
+		}
+		s.sessions[ev.sessionID] = sess
 		s.e.sessions.Add(1)
 	}
-	sess.sink = msg.sink
-	sess.lastSeen = time.Now()
-	if s.e.cfg.RecordSessions && len(sess.actions) < s.e.cfg.MaxRecordedActions {
-		sess.actions = append(sess.actions, msg.ev.Action)
+	sess.sink = sink
+	sess.lastSeen = now
+	if s.e.cfg.RecordSessions && ev.tok >= 0 && len(sess.tokens) < s.e.cfg.MaxRecordedActions {
+		sess.tokens = append(sess.tokens, ev.tok)
 	}
-	step, err := sess.mon.ObserveAction(msg.ev.Action)
-	if err != nil {
-		// Overwhelmingly an action outside the model vocabulary: count
+	idx := sess.remap.lookup(s.e.interner, ev.tok)
+	if idx < 0 && ev.action != "" {
+		// The interner's learn budget is exhausted (the only way an
+		// event still carries its action name): resolve directly
+		// against the session's pinned vocabulary so a legitimate
+		// in-vocabulary action keeps scoring even with a saturated
+		// intern pool.
+		if i, err := sess.remap.vocab.Index(ev.action); err == nil {
+			idx = int32(i)
+		}
+	}
+	if idx < 0 {
+		// The action is outside this session's model vocabulary: count
 		// it on the session so the summary exposes the unknown-action
-		// rate vocabulary-drift detection watches.
+		// rate vocabulary-drift detection watches. The interner already
+		// holds the name (as a learned token), so retraining can absorb
+		// it later.
 		sess.unknown++
 		s.e.scoreErrors.Add(1)
-		s.e.logf("session %s: %v", msg.ev.SessionID, err)
+		if s.e.cfg.Logf != nil {
+			name := ev.action
+			if ev.tok >= 0 {
+				name, _ = s.e.interner.Snapshot().Name(ev.tok)
+			}
+			s.e.logf("session %s: unknown action %q (token %d)", ev.sessionID, name, ev.tok)
+		}
+		return
+	}
+	step, err := sess.mon.ObserveToken(int(idx))
+	if err != nil {
+		s.e.scoreErrors.Add(1)
+		s.e.logf("session %s: %v", ev.sessionID, err)
 		return
 	}
 	sess.alarms += len(step.Alarms)
 	for _, kind := range step.Alarms {
 		a := Alarm{
-			Seq:          msg.seq,
-			Time:         msg.ev.Time,
-			SessionID:    msg.ev.SessionID,
-			User:         msg.ev.User,
+			Seq:          ev.seq,
+			Time:         ev.time,
+			SessionID:    ev.sessionID,
+			User:         ev.user,
 			Kind:         kind.String(),
 			Position:     step.Position,
 			Cluster:      step.Cluster,
@@ -598,12 +980,18 @@ func (s *engineShard) evictAll() {
 }
 
 // end removes one session from the shard and reports it to the
-// session-end hook. Runs only on the shard goroutine.
+// session-end hook. Runs only on the shard goroutine. The summary's
+// interner snapshot is taken at end time, so it resolves every token the
+// session recorded.
 func (s *engineShard) end(id string, sess *engineSession) {
 	delete(s.sessions, id)
 	s.e.sessions.Add(-1)
 	if s.e.cfg.OnSessionEnd == nil {
 		return
+	}
+	var snap *actionlog.InternSnapshot
+	if len(sess.tokens) > 0 {
+		snap = s.e.interner.Snapshot()
 	}
 	s.e.cfg.OnSessionEnd(SessionSummary{
 		SessionID:    id,
@@ -616,7 +1004,8 @@ func (s *engineShard) end(id string, sess *engineSession) {
 		Alarms:       sess.alarms,
 		MinSmoothed:  sess.mon.MinSmoothed(),
 		LastSmoothed: sess.mon.Smoothed(),
-		Actions:      sess.actions,
+		Tokens:       sess.tokens,
+		Snap:         snap,
 	})
 }
 
@@ -648,7 +1037,11 @@ func (d *Detector) ReplaySerial(mcfg MonitorConfig, events []actionlog.Event) ([
 			}
 			monitors[ev.SessionID] = mon
 		}
-		step, err := mon.ObserveAction(ev.Action)
+		tok := d.Token(ev.Action)
+		if tok < 0 {
+			continue
+		}
+		step, err := mon.ObserveToken(tok)
 		if err != nil {
 			continue
 		}

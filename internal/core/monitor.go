@@ -154,7 +154,9 @@ type MonitorStep struct {
 	Likelihood float64
 	// Smoothed is the EWMA of the likelihood.
 	Smoothed float64
-	// Alarms raised at this step, if any.
+	// Alarms raised at this step, if any. The slice aliases
+	// monitor-owned scratch: it is valid until the monitor's next
+	// ObserveToken call and must not be retained.
 	Alarms []AlarmKind
 }
 
@@ -163,17 +165,39 @@ type MonitorStep struct {
 // backend) so the routed cluster can change mid-vote without re-reading
 // the session, and freezes the route after RouteVoteActions actions per
 // the paper's online rule.
+//
+// The monitor speaks token IDs only: action names are resolved exactly
+// once at the ingestion edge (actionlog.Interner in the serving path,
+// Detector.Token on cold paths), so the per-action hot path never touches
+// a string. Unknown-action handling lives with the caller — a token
+// outside the detector's vocabulary never reaches ObserveToken.
 type SessionMonitor struct {
 	d        *Detector
 	mcfg     MonitorConfig
 	features *ocsvm.PrefixStream
 	streams  []scorer.Stream
+	// advanced[i] is how many actions streams[i] has observed; prefix
+	// buffers the vote-window actions so a stream is caught up lazily
+	// when its cluster first wins the vote. Only the selected cluster's
+	// stream advances per action — strictly less model work than
+	// advancing every stream, with identical observable values, since a
+	// stream's state depends only on the sequence it has observed.
+	advanced []int
+	prefix   []int
 	votes    []int
 	cluster  int
 	position int
 	smoothed float64
 	warmMin  float64
-	recent   []float64
+	// recent is a fixed ring of the last TrendWindow smoothed values
+	// (allocated once at monitor creation, so the steady-state scoring
+	// path allocates nothing per action).
+	recent    []float64
+	recentPos int
+	recentN   int
+	// alarmScratch backs MonitorStep.Alarms (at most one alarm per
+	// kind per step), keeping alarm emission allocation-free too.
+	alarmScratch [2]AlarmKind
 }
 
 // NewSessionMonitor starts monitoring one session.
@@ -185,9 +209,14 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 		d:        d,
 		mcfg:     mcfg,
 		features: d.featurizer.Stream(),
+		advanced: make([]int, len(d.clusters)),
+		prefix:   make([]int, 0, d.cfg.RouteVoteActions),
 		votes:    make([]int, len(d.clusters)),
 		smoothed: -1,
 		warmMin:  -1,
+	}
+	if mcfg.TrendWindow > 0 {
+		m.recent = make([]float64, mcfg.TrendWindow)
 	}
 	for i := range d.clusters {
 		m.streams = append(m.streams, d.clusters[i].Model.NewStream())
@@ -195,27 +224,23 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 	return m, nil
 }
 
-// ObserveAction consumes the next action name and returns the monitoring
-// step, including any alarms.
-func (m *SessionMonitor) ObserveAction(action string) (MonitorStep, error) {
-	idx, err := m.d.vocab.Index(action)
-	if err != nil {
-		return MonitorStep{}, fmt.Errorf("core: monitor: %w", err)
-	}
-	return m.Observe(idx)
-}
-
-// Observe consumes the next encoded action.
-func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
+// ObserveToken consumes the next action token (the detector's vocabulary
+// index, as produced by the edge interner or Detector.Token) and returns
+// the monitoring step, including any alarms.
+func (m *SessionMonitor) ObserveToken(action int) (MonitorStep, error) {
 	// Update the routing vote during the first RouteVoteActions actions.
+	// The sparse score path exploits that an early prefix touches only a
+	// handful of vocabulary coordinates, so the per-action routing cost
+	// scales with the distinct actions seen, not the vocabulary size.
 	if m.position < m.d.cfg.RouteVoteActions {
 		x, err := m.features.Observe(action)
 		if err != nil {
 			return MonitorStep{}, err
 		}
+		support := m.features.Support()
 		best, bestS := 0, math.Inf(-1)
 		for i := range m.d.clusters {
-			s, err := m.d.clusters[i].Router.Score(x)
+			s, err := m.d.clusters[i].Router.ScoreSparse(x, support)
 			if err != nil {
 				return MonitorStep{}, err
 			}
@@ -233,20 +258,30 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 		m.cluster = bestC
 	}
 
-	// Advance every cluster's stream (so a mid-vote route change has
-	// full history); keep the selected cluster's likelihood for the
-	// observed action. The likelihood-only path spares the classical
-	// backends the predictive distribution the monitor never reads.
-	likelihood := -1.0
-	for i, st := range m.streams {
-		lik, err := scorer.ObserveLikelihood(st, action)
-		if err != nil {
+	// Advance only the selected cluster's stream, catching it up on the
+	// buffered vote-window prefix when a route change hands the session
+	// to a cluster whose stream is behind. A stream's state is a pure
+	// function of the sequence it observed, so lazy catch-up yields the
+	// same likelihoods as eagerly advancing every stream — for strictly
+	// less model work (after the vote freezes, exactly one stream
+	// advances per action). The likelihood-only path spares the
+	// classical backends the predictive distribution the monitor never
+	// reads.
+	if m.position < m.d.cfg.RouteVoteActions {
+		m.prefix = append(m.prefix, action)
+	}
+	st := m.streams[m.cluster]
+	for m.advanced[m.cluster] < m.position {
+		if _, err := scorer.ObserveLikelihood(st, m.prefix[m.advanced[m.cluster]]); err != nil {
 			return MonitorStep{}, err
 		}
-		if i == m.cluster {
-			likelihood = lik
-		}
+		m.advanced[m.cluster]++
 	}
+	likelihood, err := scorer.ObserveLikelihood(st, action)
+	if err != nil {
+		return MonitorStep{}, err
+	}
+	m.advanced[m.cluster]++
 
 	step := MonitorStep{
 		Position:   m.position,
@@ -260,9 +295,12 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 		} else {
 			m.smoothed = m.mcfg.EWMAAlpha*likelihood + (1-m.mcfg.EWMAAlpha)*m.smoothed
 		}
-		m.recent = append(m.recent, m.smoothed)
-		if m.mcfg.TrendWindow > 0 && len(m.recent) > m.mcfg.TrendWindow {
-			m.recent = m.recent[len(m.recent)-m.mcfg.TrendWindow:]
+		if w := m.mcfg.TrendWindow; w > 0 {
+			m.recent[m.recentPos] = m.smoothed
+			m.recentPos = (m.recentPos + 1) % w
+			if m.recentN < w {
+				m.recentN++
+			}
 		}
 	}
 	step.Smoothed = m.smoothed
@@ -271,14 +309,20 @@ func (m *SessionMonitor) Observe(action int) (MonitorStep, error) {
 		if m.warmMin < 0 || m.smoothed < m.warmMin {
 			m.warmMin = m.smoothed
 		}
+		alarms := m.alarmScratch[:0]
 		if m.smoothed < m.mcfg.floor(m.cluster) {
-			step.Alarms = append(step.Alarms, AlarmLowLikelihood)
+			alarms = append(alarms, AlarmLowLikelihood)
 		}
-		if m.mcfg.TrendWindow > 0 && len(m.recent) == m.mcfg.TrendWindow {
-			first, last := m.recent[0], m.recent[len(m.recent)-1]
+		if w := m.mcfg.TrendWindow; w > 0 && m.recentN == w {
+			// recentPos is the next overwrite slot, i.e. the oldest of
+			// the last w values; the previous slot holds the newest.
+			first, last := m.recent[m.recentPos], m.recent[(m.recentPos+w-1)%w]
 			if first > 0 && last < first*(1-m.mcfg.TrendDrop) {
-				step.Alarms = append(step.Alarms, AlarmDownwardTrend)
+				alarms = append(alarms, AlarmDownwardTrend)
 			}
+		}
+		if len(alarms) > 0 {
+			step.Alarms = alarms
 		}
 	}
 	m.position++

@@ -59,7 +59,11 @@ func TestTrainDetectorClassicalBackends(t *testing.T) {
 			t.Fatalf("%s: %v", backend, err)
 		}
 		for _, a := range sessions[0].Actions {
-			if _, err := mon.ObserveAction(a); err != nil {
+			tok := d.Token(a)
+			if tok < 0 {
+				t.Fatalf("%s: unknown action %q", backend, a)
+			}
+			if _, err := mon.ObserveToken(tok); err != nil {
 				t.Fatalf("%s: monitor: %v", backend, err)
 			}
 		}

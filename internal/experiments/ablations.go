@@ -131,7 +131,11 @@ func alarmedSessions(s *Setup, cfg core.MonitorConfig, sessions []*actionlog.Ses
 		}
 		fired := false
 		for _, a := range sess.Actions {
-			step, err := mon.ObserveAction(a)
+			tok := s.Detector.Token(a)
+			if tok < 0 {
+				return 0, fmt.Errorf("experiments: unknown action %q", a)
+			}
+			step, err := mon.ObserveToken(tok)
 			if err != nil {
 				return 0, err
 			}

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -17,6 +18,11 @@ type BenchOptions struct {
 	// ShardCounts lists the engine shard counts to sweep; nil defaults
 	// to {1, 4}.
 	ShardCounts []int
+	// BatchSizes lists the submission batch sizes to sweep; nil defaults
+	// to {1}. Batch size 1 submits one event per Submit call (one wire
+	// line per event in wire mode); larger sizes use SubmitBatch (one
+	// {"batch":[...]} frame per size events on the wire).
+	BatchSizes []int
 	// Events is the total event volume streamed per shard count; 0
 	// defaults to 20000. The evaluation sessions are replicated with
 	// fresh session IDs until the volume is reached, so the load spreads
@@ -39,6 +45,9 @@ func (o *BenchOptions) setDefaults() {
 	}
 	if o.ShardCounts == nil {
 		o.ShardCounts = []int{1, 4}
+	}
+	if o.BatchSizes == nil {
+		o.BatchSizes = []int{1}
 	}
 	if o.Events == 0 {
 		o.Events = 20000
@@ -69,6 +78,10 @@ type BenchResult struct {
 	Mode    string `json:"mode"`
 	Backend string `json:"backend"`
 	Shards  int    `json:"shards"`
+	// Batch is the submission batch size: 1 = one event per Submit call
+	// (one line per event on the wire), N = SubmitBatch / one
+	// {"batch":[...]} frame per N events.
+	Batch int `json:"batch"`
 	// Events and Sessions describe the streamed load.
 	Events   int `json:"events"`
 	Sessions int `json:"sessions"`
@@ -76,16 +89,77 @@ type BenchResult struct {
 	// is Events over it.
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	// Ingest is the per-event submission latency during the full-rate
-	// run — the Submit call in-process, the line write on the wire —
-	// including any backpressure stall, so its tail shows queueing.
+	// Ingest is the per-submission-call latency during the full-rate
+	// run — the Submit/SubmitBatch call in-process, the line/frame write
+	// on the wire — including any backpressure stall, so its tail shows
+	// queueing. With Batch > 1 each sample covers one whole batch.
 	Ingest LatencyDist `json:"ingest"`
 	// Score is the per-action scoring latency measured serially through
 	// a session monitor: the pure model cost one shard pays per event.
 	// Identical across shard counts of one backend by construction.
 	Score LatencyDist `json:"score"`
+	// SubmitAllocsPerEvent is the measured heap allocations per event on
+	// the full submit+score path (engine mode only; 0 on the wire, where
+	// the daemon's allocations are not observable).
+	SubmitAllocsPerEvent float64 `json:"submit_allocs_per_event"`
+	// ScoreAllocsPerAction is the steady-state allocations per action of
+	// the serial scoring path over warm session monitors — the "0
+	// allocs/action" regression anchor for the likelihood hot path.
+	ScoreAllocsPerAction float64 `json:"score_allocs_per_action"`
 	// Alarms counts alarms raised during the run.
 	Alarms uint64 `json:"alarms"`
+}
+
+// BenchReport is the machine-readable output of one misusectl bench run
+// (the BENCH_ingest.json artifact): environment identity plus every
+// measured result, so future PRs can diff throughput run over run.
+type BenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []BenchResult `json:"results"`
+}
+
+// NewBenchReport stamps a report with the runtime environment.
+func NewBenchReport(results []BenchResult) *BenchReport {
+	return &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+	}
+}
+
+// BatchSpeedup returns the events/sec ratio of the largest-batch result
+// over the batch-1 result within one (mode, backend, shards) group, for
+// every group that has both: the measured win of frame batching. CI
+// gates on the wire-mode ratio.
+func (r *BenchReport) BatchSpeedup() map[string]float64 {
+	type key struct {
+		mode, backend string
+		shards        int
+	}
+	base := map[key]BenchResult{}
+	best := map[key]BenchResult{}
+	for _, res := range r.Results {
+		k := key{res.Mode, res.Backend, res.Shards}
+		if res.Batch <= 1 {
+			base[k] = res
+		} else if cur, ok := best[k]; !ok || res.Batch > cur.Batch {
+			best[k] = res
+		}
+	}
+	out := map[string]float64{}
+	for k, b := range best {
+		s, ok := base[k]
+		if !ok || s.EventsPerSec <= 0 {
+			continue
+		}
+		out[fmt.Sprintf("%s/%s/shards=%d/batch=%d", k.mode, k.backend, k.shards, b.Batch)] = b.EventsPerSec / s.EventsPerSec
+	}
+	return out
 }
 
 // percentiles summarizes a latency sample in microseconds.
@@ -145,65 +219,97 @@ func benchStream(tr *Traffic, events int, salt string) ([]actionlog.Event, int, 
 }
 
 // BenchEngine measures the in-process serving path: it trains one
-// detector of the requested backend, then for every shard count streams
-// the replicated evaluation traffic through a fresh engine at full rate,
-// reporting throughput (events/sec), ingest-latency percentiles
-// (backpressure included), and the serial per-action scoring cost.
+// detector of the requested backend, then for every (shard count, batch
+// size) pair streams the replicated evaluation traffic through a fresh
+// engine at full rate, reporting throughput (events/sec), ingest-latency
+// percentiles (backpressure included), the serial per-action scoring
+// cost, and allocations per event/action.
 func BenchEngine(tr *Traffic, opt BenchOptions) ([]BenchResult, error) {
 	opt.setDefaults()
 	det, err := trainDetector(tr, EvalOptions{Hidden: opt.Hidden, Epochs: opt.Epochs, Seed: opt.Seed}, opt.Backend)
 	if err != nil {
 		return nil, fmt.Errorf("harness: bench train %s: %w", opt.Backend, err)
 	}
-	// Every shard count gets a fresh in-process engine, so no salt is
-	// needed to keep sessions cold.
+	// Every (shards, batch) pair gets a fresh in-process engine, so no
+	// salt is needed to keep sessions cold.
 	stream, sessions, err := benchStream(tr, opt.Events, "")
 	if err != nil {
 		return nil, err
 	}
 
-	score, err := scoreLatency(det, opt.Monitor, stream)
+	score, scoreAllocs, err := scoreLatency(det, opt.Monitor, stream)
 	if err != nil {
 		return nil, err
 	}
 
 	var results []BenchResult
 	for _, shards := range opt.ShardCounts {
-		res, err := benchShardCount(det, opt, stream, shards)
-		if err != nil {
-			return nil, fmt.Errorf("harness: bench %d shards: %w", shards, err)
+		for _, batch := range opt.BatchSizes {
+			res, err := benchEngineRun(det, opt, stream, shards, batch)
+			if err != nil {
+				return nil, fmt.Errorf("harness: bench %d shards batch %d: %w", shards, batch, err)
+			}
+			res.Sessions = sessions
+			res.Score = score
+			res.ScoreAllocsPerAction = scoreAllocs
+			results = append(results, res)
 		}
-		res.Sessions = sessions
-		res.Score = score
-		results = append(results, res)
 	}
 	return results, nil
 }
 
-// scoreLatency times every ObserveAction of the stream through serial
-// session monitors: the per-event model cost with no queueing around it.
-func scoreLatency(det *core.Detector, monitor core.MonitorConfig, stream []actionlog.Event) (LatencyDist, error) {
+// mallocs reads the cumulative heap-allocation count (a stop-the-world
+// stat read, used only at measurement boundaries).
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// scoreLatency times every scored action of the stream through serial
+// session monitors — the per-event model cost with no queueing around it
+// — then replays the same stream through the now-warm monitors between
+// two allocation counters, yielding the steady-state allocs/action of
+// the pure scoring path.
+func scoreLatency(det *core.Detector, monitor core.MonitorConfig, stream []actionlog.Event) (LatencyDist, float64, error) {
 	monitors := make(map[string]*core.SessionMonitor)
+	tokens := make([]int, len(stream))
 	samples := make([]time.Duration, 0, len(stream))
-	for _, ev := range stream {
+	for i, ev := range stream {
 		mon, ok := monitors[ev.SessionID]
 		if !ok {
 			var err error
 			if mon, err = det.NewSessionMonitor(monitor); err != nil {
-				return LatencyDist{}, err
+				return LatencyDist{}, 0, err
 			}
 			monitors[ev.SessionID] = mon
 		}
+		tokens[i] = det.Token(ev.Action)
+		if tokens[i] < 0 {
+			return LatencyDist{}, 0, fmt.Errorf("harness: score latency on %s: unknown action %q", ev.SessionID, ev.Action)
+		}
 		t0 := time.Now()
-		if _, err := mon.ObserveAction(ev.Action); err != nil {
-			return LatencyDist{}, fmt.Errorf("harness: score latency on %s: %w", ev.SessionID, err)
+		if _, err := mon.ObserveToken(tokens[i]); err != nil {
+			return LatencyDist{}, 0, fmt.Errorf("harness: score latency on %s: %w", ev.SessionID, err)
 		}
 		samples = append(samples, time.Since(t0))
 	}
-	return percentiles(samples), nil
+	// Steady-state allocation pass: monitors are warm, tokens resolved,
+	// nothing appended — what remains is the scoring path itself.
+	before := mallocs()
+	for i, ev := range stream {
+		if _, err := monitors[ev.SessionID].ObserveToken(tokens[i]); err != nil {
+			return LatencyDist{}, 0, err
+		}
+	}
+	allocs := float64(mallocs()-before) / float64(len(stream))
+	return percentiles(samples), allocs, nil
 }
 
-func benchShardCount(det *core.Detector, opt BenchOptions, stream []actionlog.Event, shards int) (BenchResult, error) {
+func benchEngineRun(det *core.Detector, opt BenchOptions, stream []actionlog.Event, shards, batch int) (BenchResult, error) {
+	if batch < 1 {
+		batch = 1
+	}
 	engine, err := core.NewEngine(det, core.EngineConfig{
 		Shards:     shards,
 		QueueDepth: opt.QueueDepth,
@@ -216,30 +322,48 @@ func benchShardCount(det *core.Detector, opt BenchOptions, stream []actionlog.Ev
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
-	ingest := make([]time.Duration, 0, len(stream))
+	ingest := make([]time.Duration, 0, len(stream)/batch+1)
+	before := mallocs()
 	t0 := time.Now()
-	for _, ev := range stream {
-		s0 := time.Now()
-		// A nil sink counts alarms without delivering them: the bench
-		// measures the scoring path, not an alarm consumer.
-		if err := engine.Submit(ctx, ev, nil); err != nil {
-			return BenchResult{}, err
+	// A nil sink counts alarms without delivering them: the bench
+	// measures the scoring path, not an alarm consumer.
+	if batch == 1 {
+		for _, ev := range stream {
+			s0 := time.Now()
+			if err := engine.Submit(ctx, ev, nil); err != nil {
+				return BenchResult{}, err
+			}
+			ingest = append(ingest, time.Since(s0))
 		}
-		ingest = append(ingest, time.Since(s0))
+	} else {
+		for off := 0; off < len(stream); off += batch {
+			end := off + batch
+			if end > len(stream) {
+				end = len(stream)
+			}
+			s0 := time.Now()
+			if err := engine.SubmitBatch(ctx, stream[off:end], nil); err != nil {
+				return BenchResult{}, err
+			}
+			ingest = append(ingest, time.Since(s0))
+		}
 	}
 	if err := engine.Drain(ctx); err != nil {
 		return BenchResult{}, err
 	}
 	wall := time.Since(t0)
+	submitAllocs := float64(mallocs()-before) / float64(len(stream))
 	st := engine.Stats()
 	return BenchResult{
-		Mode:         "engine",
-		Backend:      opt.Backend,
-		Shards:       shards,
-		Events:       len(stream),
-		WallSeconds:  wall.Seconds(),
-		EventsPerSec: float64(len(stream)) / wall.Seconds(),
-		Ingest:       percentiles(ingest),
-		Alarms:       st.AlarmsRaised,
+		Mode:                 "engine",
+		Backend:              opt.Backend,
+		Shards:               shards,
+		Batch:                batch,
+		Events:               len(stream),
+		WallSeconds:          wall.Seconds(),
+		EventsPerSec:         float64(len(stream)) / wall.Seconds(),
+		Ingest:               percentiles(ingest),
+		SubmitAllocsPerEvent: submitAllocs,
+		Alarms:               st.AlarmsRaised,
 	}, nil
 }

@@ -76,32 +76,50 @@ func (f *Featurizer) Corpus(encoded [][]int) ([][]float64, error) {
 // time, for the online regime: Observe returns the feature vector of the
 // prefix seen so far without rebuilding it.
 type PrefixStream struct {
-	f     *Featurizer
-	x     []float64
-	count int
+	f       *Featurizer
+	x       []float64
+	out     []float64
+	nonzero []int
+	count   int
 }
 
-// Stream returns a new incremental featurizer.
+// Stream returns a new incremental featurizer. All scratch is allocated
+// once here, so the per-action Observe path is allocation-free — the
+// routing vote runs on every early action of every live session, which
+// makes this part of the serving hot path.
 func (f *Featurizer) Stream() *PrefixStream {
-	return &PrefixStream{f: f, x: make([]float64, f.vocabSize)}
+	s := &PrefixStream{f: f, x: make([]float64, f.vocabSize), nonzero: make([]int, 0, f.vocabSize)}
+	if f.mode == FeatureFrequencies {
+		s.out = make([]float64, f.vocabSize)
+	}
+	return s
 }
 
 // Observe adds one action and returns the current prefix features. The
-// returned slice is reused between calls in counts mode and freshly
-// allocated in frequency mode; callers must not retain it.
+// returned slice is reused by the next Observe call in every mode;
+// callers must not retain it.
 func (s *PrefixStream) Observe(action int) ([]float64, error) {
 	if action < 0 || action >= s.f.vocabSize {
 		return nil, fmt.Errorf("ocsvm: stream action %d outside vocab %d", action, s.f.vocabSize)
 	}
+	if s.x[action] == 0 {
+		s.nonzero = append(s.nonzero, action)
+	}
 	s.x[action]++
 	s.count++
 	if s.f.mode == FeatureFrequencies {
-		out := make([]float64, len(s.x))
+		// Only the seen coordinates can be nonzero; refresh just those.
 		inv := 1 / float64(s.count)
-		for i, v := range s.x {
-			out[i] = v * inv
+		for _, i := range s.nonzero {
+			s.out[i] = s.x[i] * inv
 		}
-		return out, nil
+		return s.out, nil
 	}
 	return s.x, nil
 }
+
+// Support returns the indices of the feature vector's nonzero
+// coordinates (the distinct actions seen so far), in first-seen order:
+// the companion of Model.ScoreSparse. The slice is stream-owned scratch;
+// callers must not retain or mutate it.
+func (s *PrefixStream) Support() []int { return s.nonzero }

@@ -70,7 +70,21 @@ type Model struct {
 	rho     float64
 	alphas  []float64
 	support [][]float64 // support vectors (alpha > 0 only)
+	svNorm  []float64   // precomputed ||sv||^2 for the sparse score path
 	dim     int
+}
+
+// finalize precomputes the support-vector norms ScoreSparse expands the
+// kernel with; both constructors (Train and Load) call it.
+func (m *Model) finalize() {
+	m.svNorm = make([]float64, len(m.support))
+	for j, sv := range m.support {
+		var n float64
+		for _, v := range sv {
+			n += v * v
+		}
+		m.svNorm[j] = n
+	}
 }
 
 // Train fits the OC-SVM on the feature vectors xs (all the same length).
@@ -206,6 +220,7 @@ func Train(xs [][]float64, cfg Config) (*Model, error) {
 			m.support = append(m.support, append([]float64(nil), xs[i]...))
 		}
 	}
+	m.finalize()
 	return m, nil
 }
 
@@ -218,6 +233,33 @@ func (m *Model) Score(x []float64) (float64, error) {
 	var s float64
 	for i, sv := range m.support {
 		s += m.alphas[i] * rbf(sv, x, m.gamma)
+	}
+	return s - m.rho, nil
+}
+
+// ScoreSparse is Score for a feature vector of known support: only the
+// coordinates listed in nonzero are read (every other coordinate of x
+// must be zero). Expanding ||sv-x||^2 = ||sv||^2 - 2<sv,x> + ||x||^2
+// against the precomputed support-vector norms shrinks the
+// per-support-vector work from the full feature dimension to the number
+// of distinct actions seen — the routing vote runs this on every early
+// action of every live session, where a prefix touches a handful of the
+// vocabulary. Equal to Score up to floating-point summation order.
+func (m *Model) ScoreSparse(x []float64, nonzero []int) (float64, error) {
+	if len(x) != m.dim {
+		return 0, fmt.Errorf("ocsvm: sample has %d features, want %d", len(x), m.dim)
+	}
+	var xnorm float64
+	for _, i := range nonzero {
+		xnorm += x[i] * x[i]
+	}
+	var s float64
+	for j, sv := range m.support {
+		var dot float64
+		for _, i := range nonzero {
+			dot += sv[i] * x[i]
+		}
+		s += m.alphas[j] * math.Exp(-m.gamma*(m.svNorm[j]-2*dot+xnorm))
 	}
 	return s - m.rho, nil
 }
@@ -276,5 +318,7 @@ func Load(r io.Reader) (*Model, error) {
 	if s.Dim < 1 || len(s.Alphas) != len(s.Support) {
 		return nil, fmt.Errorf("ocsvm: load: malformed model")
 	}
-	return &Model{gamma: s.Gamma, rho: s.Rho, alphas: s.Alphas, support: s.Support, dim: s.Dim}, nil
+	m := &Model{gamma: s.Gamma, rho: s.Rho, alphas: s.Alphas, support: s.Support, dim: s.Dim}
+	m.finalize()
+	return m, nil
 }

@@ -286,9 +286,14 @@ func TestPrefixStreamFrequencies(t *testing.T) {
 	if math.Abs(x2[0]-0.5) > 1e-12 || math.Abs(x2[1]-0.5) > 1e-12 {
 		t.Fatalf("second prefix = %v", x2)
 	}
-	// x1 must not have been mutated (fresh allocation in frequency mode).
-	if x1[0] != 1 {
-		t.Fatal("frequency stream must not alias previous outputs")
+	// The returned vector is stream-owned scratch, reused between calls
+	// so the per-action path allocates nothing: successive observations
+	// alias one buffer, and callers must consume it before the next.
+	if &x1[0] != &x2[0] {
+		t.Fatal("frequency stream must reuse its output buffer")
+	}
+	if got := stream.Support(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("support = %v, want [0 1]", got)
 	}
 }
 
@@ -366,5 +371,67 @@ func TestTranslationInvarianceProperty(t *testing.T) {
 		if math.Abs(s1-s2) > 1e-9 {
 			t.Fatalf("translation changed score: %v vs %v", s1, s2)
 		}
+	}
+}
+
+// TestScoreSparseMatchesDense pins the sparse routing-path kernel
+// against the dense one: on sparse vectors (and after a save/load round
+// trip, which must rebuild the precomputed norms) the two scores agree
+// to floating-point noise, and unlisted zero coordinates are truly
+// ignored.
+func TestScoreSparseMatchesDense(t *testing.T) {
+	const dim = 40
+	train := gaussianBlob(60, make([]float64, dim), 0.3, 7)
+	m, err := Train(train, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, dim)
+		var nonzero []int
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			i := rng.Intn(dim)
+			if x[i] == 0 {
+				nonzero = append(nonzero, i)
+			}
+			x[i] = rng.Float64()
+		}
+		for _, model := range []*Model{m, loaded} {
+			dense, err := model.Score(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := model.ScoreSparse(x, nonzero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(dense-sparse) > 1e-9 {
+				t.Fatalf("trial %d: dense %v vs sparse %v", trial, dense, sparse)
+			}
+		}
+	}
+	if _, err := m.ScoreSparse(make([]float64, dim+1), nil); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	// An empty support is the zero vector.
+	sparse, err := m.ScoreSparse(make([]float64, dim), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := m.Score(make([]float64, dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dense-sparse) > 1e-9 {
+		t.Fatalf("zero vector: dense %v vs sparse %v", dense, sparse)
 	}
 }

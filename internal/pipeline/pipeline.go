@@ -153,10 +153,31 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// candidate is one buffered retraining session.
+// candidate is one buffered retraining session, kept in the token form
+// the engine recorded it in: 4 bytes per action plus one shared interner
+// snapshot, instead of a string slice per session. Token streams are
+// remapped to the retrain vocabulary through per-snapshot index tables at
+// cycle time, so retraining never re-interns action strings.
 type candidate struct {
-	session *actionlog.Session
+	id      string
+	user    string
+	start   time.Time
+	tokens  []int32
+	snap    *actionlog.InternSnapshot
 	cluster int
+}
+
+// session materializes the candidate as a named-action session (needed
+// only for the guardrail holdout, which flows through the string-typed
+// eval harness). Decoding is an array index per action.
+func (c *candidate) session() *actionlog.Session {
+	actions := make([]string, 0, len(c.tokens))
+	for _, t := range c.tokens {
+		if name, ok := c.snap.Name(t); ok {
+			actions = append(actions, name)
+		}
+	}
+	return &actionlog.Session{ID: c.id, User: c.user, Start: c.start, Actions: actions, Cluster: c.cluster}
 }
 
 // CycleReport describes one adaptation cycle end to end: what triggered
@@ -283,15 +304,21 @@ func (a *Adapter) OnSessionEnd(sum core.SessionSummary) {
 	signals := a.dm.ObserveSession(sum.Cluster, sum.MinSmoothed, sum.Observed, sum.Unknown)
 
 	a.mu.Lock()
-	if sum.Alarms == 0 {
-		if s := sum.Session(); s != nil && len(s.Actions) >= 2 {
-			if len(a.buf) < a.cfg.MaxBuffer {
-				a.buf = append(a.buf, candidate{session: s, cluster: sum.Cluster})
-			} else {
-				a.buf[a.head] = candidate{session: s, cluster: sum.Cluster}
-				a.head = (a.head + 1) % a.cfg.MaxBuffer
-				a.dropped++
-			}
+	if sum.Alarms == 0 && len(sum.Tokens) >= 2 && sum.Snap != nil {
+		c := candidate{
+			id:      sum.SessionID,
+			user:    sum.User,
+			start:   sum.Start,
+			tokens:  sum.Tokens,
+			snap:    sum.Snap,
+			cluster: sum.Cluster,
+		}
+		if len(a.buf) < a.cfg.MaxBuffer {
+			a.buf = append(a.buf, c)
+		} else {
+			a.buf[a.head] = c
+			a.head = (a.head + 1) % a.cfg.MaxBuffer
+			a.dropped++
 		}
 	}
 	// Signals computed against a pre-cycle detector state are stale:
@@ -382,20 +409,33 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 	}
 	rep.VocabAfter = vocab.Size()
 
-	// Sessions still carrying actions outside the (grown) vocabulary —
-	// unknowns too rare to clear the growth floor — cannot be encoded
-	// for training; drop them rather than abort the cycle.
+	// Re-express every candidate's token stream in the (grown) retrain
+	// vocabulary through one remap table per interner snapshot — integer
+	// indexing per action, no string lookups. Sessions still carrying
+	// tokens outside the grown vocabulary — unknowns too rare to clear
+	// the growth floor — cannot train; drop them rather than abort the
+	// cycle.
+	grownRemaps := make(map[*actionlog.InternSnapshot][]int32)
 	expressible := candidates[:0:0]
+	var encoded [][]int
 	for _, c := range candidates {
-		ok := true
-		for _, action := range c.session.Actions {
-			if !vocab.Contains(action) {
-				ok = false
+		rm, ok := grownRemaps[c.snap]
+		if !ok {
+			rm = c.snap.RemapTo(vocab)
+			grownRemaps[c.snap] = rm
+		}
+		enc := make([]int, len(c.tokens))
+		keep := true
+		for i, t := range c.tokens {
+			if t < 0 || int(t) >= len(rm) || rm[t] < 0 {
+				keep = false
 				break
 			}
+			enc[i] = int(rm[t])
 		}
-		if ok {
+		if keep {
 			expressible = append(expressible, c)
+			encoded = append(encoded, enc)
 		} else {
 			rep.SkippedSessions++
 		}
@@ -412,15 +452,16 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 	if every < 2 {
 		every = 2
 	}
-	groups := make([][]*actionlog.Session, old.ClusterCount())
+	groups := make([][]core.EncodedSession, old.ClusterCount())
 	var holdout []*actionlog.Session
-	for i, c := range candidates {
+	for i := range candidates {
+		c := &candidates[i]
 		if i%every == every-1 {
-			holdout = append(holdout, c.session)
+			holdout = append(holdout, c.session())
 			continue
 		}
 		if c.cluster >= 0 && c.cluster < len(groups) {
-			groups[c.cluster] = append(groups[c.cluster], c.session)
+			groups[c.cluster] = append(groups[c.cluster], core.EncodedSession{ID: c.id, Actions: encoded[i]})
 			rep.TrainSessions++
 		}
 	}
@@ -431,7 +472,7 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 
 	seed := a.cfg.Seed + int64(a.cycles.Load())
 	trainCfg := a.trainConfig(old, vocab, seed)
-	newDet, retrainStats, err := core.RetrainDetector(old, trainCfg, vocab, groups, a.cfg.MinPerCluster)
+	newDet, retrainStats, err := core.RetrainDetectorEncoded(old, trainCfg, vocab, groups, a.cfg.MinPerCluster)
 	if err != nil {
 		return nil, err
 	}
@@ -553,14 +594,25 @@ func (a *Adapter) resetAfterCycle() {
 
 // grownVocabulary returns the serving vocabulary extended with every
 // out-of-vocabulary action that recurs at least MinNewActionCount times
-// across the candidate buffer, in sorted order for determinism.
+// across the candidate buffer, in sorted order for determinism. The
+// candidates are token streams: out-of-vocabulary detection is one remap
+// table per interner snapshot (integer indexing per action), and only the
+// recurring unknown tokens are resolved back to names.
 func (a *Adapter) grownVocabulary(old *core.Detector, candidates []candidate) (*actionlog.Vocabulary, error) {
 	oldVocab := old.Vocabulary()
+	remaps := make(map[*actionlog.InternSnapshot][]int32)
 	counts := map[string]int{}
 	for _, c := range candidates {
-		for _, action := range c.session.Actions {
-			if !oldVocab.Contains(action) {
-				counts[action]++
+		rm, ok := remaps[c.snap]
+		if !ok {
+			rm = c.snap.RemapTo(oldVocab)
+			remaps[c.snap] = rm
+		}
+		for _, t := range c.tokens {
+			if t >= 0 && int(t) < len(rm) && rm[t] < 0 {
+				if name, ok := c.snap.Name(t); ok {
+					counts[name]++
+				}
 			}
 		}
 	}
@@ -676,9 +728,14 @@ func (a *Adapter) logf(format string, args ...any) {
 // ClassifySessions replays sessions through probe monitors of the
 // detector under the given monitor configuration and returns one
 // summary per session, exactly as an engine would have emitted them —
-// the offline feed for misusectl adapt -once over an event log. Sessions
+// the offline feed for misusectl adapt -once over an event log. Like the
+// engine, it interns each action name exactly once (learning unknown
+// actions into a local interner) and records sessions as token streams,
+// so the summaries feed the adapter's token-native buffer. Sessions
 // shorter than two actions are skipped.
 func ClassifySessions(det *core.Detector, mcfg core.MonitorConfig, sessions []*actionlog.Session) ([]core.SessionSummary, error) {
+	interner := actionlog.NewInterner(det.Vocabulary())
+	base := det.Vocabulary().Size()
 	var out []core.SessionSummary
 	for _, s := range sessions {
 		if s.Len() < 2 {
@@ -692,10 +749,18 @@ func ClassifySessions(det *core.Detector, mcfg core.MonitorConfig, sessions []*a
 			SessionID: s.ID,
 			User:      s.User,
 			Start:     s.Start,
-			Actions:   s.Actions,
 		}
+		tokens := make([]int32, 0, len(s.Actions))
 		for _, action := range s.Actions {
-			step, err := mon.ObserveAction(action)
+			tok := interner.Intern(action)
+			if tok >= 0 {
+				tokens = append(tokens, tok)
+			}
+			if tok < 0 || int(tok) >= base {
+				sum.Unknown++
+				continue
+			}
+			step, err := mon.ObserveToken(int(tok))
 			if err != nil {
 				sum.Unknown++
 				continue
@@ -706,6 +771,8 @@ func ClassifySessions(det *core.Detector, mcfg core.MonitorConfig, sessions []*a
 		sum.Cluster = mon.Cluster()
 		sum.MinSmoothed = mon.MinSmoothed()
 		sum.LastSmoothed = mon.Smoothed()
+		sum.Tokens = tokens
+		sum.Snap = interner.Snapshot()
 		out = append(out, sum)
 	}
 	return out, nil

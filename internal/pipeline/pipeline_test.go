@@ -313,6 +313,7 @@ func TestCycleGuardrailRefusal(t *testing.T) {
 	real := freshNormals(t, 61, "r")
 	nextJunk, nextReal := 0, 0
 	clusters := det.ClusterCount()
+	interner := actionlog.NewInterner(det.Vocabulary())
 	for i := 0; i < 120 && nextReal < len(real); i++ {
 		var s *actionlog.Session
 		if i%4 == 3 {
@@ -328,7 +329,8 @@ func TestCycleGuardrailRefusal(t *testing.T) {
 			Cluster:     i % clusters,
 			MinSmoothed: 0.5,
 			Observed:    len(s.Actions),
-			Actions:     s.Actions,
+			Tokens:      interner.InternAll(s.Actions),
+			Snap:        interner.Snapshot(),
 		})
 	}
 	rep, err := adapter.Cycle("manual")
@@ -421,13 +423,15 @@ func TestCandidateRingBufferAndBackoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	interner := actionlog.NewInterner(det.Vocabulary())
 	mk := func(i int) core.SessionSummary {
 		return core.SessionSummary{
 			SessionID:   fmt.Sprintf("s-%03d", i),
 			Cluster:     0,
 			MinSmoothed: 0.5,
 			Observed:    3,
-			Actions:     []string{"a", "b", "c"},
+			Tokens:      interner.InternAll([]string{"a", "b", "c"}),
+			Snap:        interner.Snapshot(),
 		}
 	}
 	for i := 0; i < 14; i++ {
@@ -439,8 +443,8 @@ func TestCandidateRingBufferAndBackoff(t *testing.T) {
 	}
 	// Oldest-first snapshot: the first 4 sessions were overwritten.
 	snap := adapter.snapshotCandidates()
-	if len(snap) != 10 || snap[0].session.ID != "s-004" || snap[9].session.ID != "s-013" {
-		t.Fatalf("snapshot order wrong: first %s last %s", snap[0].session.ID, snap[len(snap)-1].session.ID)
+	if len(snap) != 10 || snap[0].id != "s-004" || snap[9].id != "s-013" {
+		t.Fatalf("snapshot order wrong: first %s last %s", snap[0].id, snap[len(snap)-1].id)
 	}
 
 	// Backoff: a failed cycle must suppress automatic re-fire for
