@@ -360,9 +360,12 @@ type statusReply struct {
 // reloadReply mirrors the misused daemon's reload line.
 type reloadReply struct {
 	Reload struct {
-		Version  uint64 `json:"version"`
-		Backend  string `json:"backend"`
-		Clusters int    `json:"clusters"`
+		Version  uint64  `json:"version"`
+		Backend  string  `json:"backend"`
+		Clusters int     `json:"clusters"`
+		Canary   bool    `json:"canary"`
+		Fraction float64 `json:"fraction"`
+		Legacy   bool    `json:"legacy"`
 	} `json:"reload"`
 }
 
@@ -443,7 +446,15 @@ func cmdReload(args []string) error {
 	if err := json.Unmarshal(line, &reply); err != nil || reply.Reload.Version == 0 {
 		return fmt.Errorf("reload: unexpected reply %q", line)
 	}
-	fmt.Printf("misused at %s reloaded: model version %d, backend %s, %d clusters\n",
-		*addr, reply.Reload.Version, reply.Reload.Backend, reply.Reload.Clusters)
+	if reply.Reload.Canary {
+		fmt.Printf("misused at %s staged canary: candidate version %d at fraction %.3f, backend %s, %d clusters (watch with misusectl canary)\n",
+			*addr, reply.Reload.Version, reply.Reload.Fraction, reply.Reload.Backend, reply.Reload.Clusters)
+	} else {
+		fmt.Printf("misused at %s reloaded: model version %d, backend %s, %d clusters\n",
+			*addr, reply.Reload.Version, reply.Reload.Backend, reply.Reload.Clusters)
+	}
+	if reply.Reload.Legacy {
+		fmt.Printf("warning: model directory predates artifact checksums; loaded unverified\n")
+	}
 	return nil
 }

@@ -18,6 +18,7 @@
 //	misusectl reload     -addr 127.0.0.1:7074
 //	misusectl drift      -addr 127.0.0.1:7074
 //	misusectl adapt      -once [-addr host:port | -model ./model -data events.jsonl [-root ./generations]]
+//	misusectl canary     -addr 127.0.0.1:7074 [-promote | -rollback]
 package main
 
 import (
@@ -44,6 +45,7 @@ var subcommands = map[string]func([]string) error{
 	"reload":     cmdReload,
 	"drift":      cmdDrift,
 	"adapt":      cmdAdapt,
+	"canary":     cmdCanary,
 }
 
 func main() {
@@ -97,7 +99,8 @@ subcommands:
   status      query a running misused daemon for its engine counters (backend, model version, ...)
   reload      hot-swap a running misused daemon onto its re-trained model directory
   drift       inspect a daemon's drift detectors and adaptation pipeline (requires misused -adapt)
-  adapt       run one retrain/recalibrate/hot-swap cycle: -addr inside a live daemon, or offline against -model and -data`)
+  adapt       run one retrain/recalibrate/hot-swap cycle: -addr inside a live daemon, or offline against -model and -data
+  canary      inspect a daemon's staged rollout, or force-decide it with -promote / -rollback (requires misused -canary-frac)`)
 }
 
 func newFlagSet(name string) *flag.FlagSet {

@@ -26,16 +26,30 @@
 // Control commands (one JSON line each, misusectl wraps them all):
 //
 //	{"cmd":"status"}  ->  engine counters, active backend + model version
-//	{"cmd":"reload"}  ->  re-read -model and hot-swap the new model set
-//	                      (plus its thresholds.json when present);
-//	                      in-flight sessions finish on the version they
-//	                      started on (zero downtime, no weight mixing)
+//	{"cmd":"reload"}  ->  verify -model against its manifest checksums,
+//	                      then hot-swap the new model set (plus its
+//	                      thresholds.json when present); in-flight
+//	                      sessions finish on the version they started on
+//	                      (zero downtime, no weight mixing). With
+//	                      -canary-frac the reload publishes the directory
+//	                      as a canary candidate instead of swapping.
 //	{"cmd":"drift"}   ->  drift-detector and adaptation-pipeline state
 //	                      (requires -adapt)
 //	{"cmd":"adapt"}   ->  run one manual retrain cycle now (requires
 //	                      -adapt); replies with the cycle report
+//	{"cmd":"canary"}  ->  staged-rollout state: pending candidate and
+//	                      the comparator's per-arm statistics (requires
+//	                      -canary-frac)
+//	{"cmd":"canary-promote"}  ->  force-promote the pending candidate
+//	{"cmd":"canary-rollback"} ->  force-roll-back (and quarantine) it
 //
 // Unknown commands receive a {"error":...} JSON line.
+//
+// Model directories are verified before any weight is decoded — at
+// startup and on every reload (internal/rollout): the manifest carries
+// per-file SHA-256 checksums, so torn, truncated, or tampered artifacts
+// are refused with a descriptive error. Directories saved before
+// checksums existed load with a logged warning.
 //
 // With -adapt the daemon runs the online adaptation pipeline
 // (internal/pipeline): per-cluster drift detectors over the live
@@ -43,6 +57,14 @@
 // candidate retraining data, and — when drift fires — an automatic
 // retrain + recalibrate + guardrail-eval + hot-swap cycle. -adapt-root
 // receives one versioned model directory per swapped generation.
+//
+// With -canary-frac the daemon stages every rollout (reloads and
+// adaptation cycles alike): the candidate generation serves only that
+// fraction of new sessions while a comparator accumulates per-arm alarm
+// rates and smoothed likelihoods; after -canary-min-sessions finished
+// sessions per arm it promotes the candidate or rolls it back, moving a
+// rolled-back candidate's directory into a quarantine directory with
+// the verdict recorded inside.
 package main
 
 import (
@@ -57,6 +79,7 @@ import (
 	"misusedetect/internal/core"
 	"misusedetect/internal/drift"
 	"misusedetect/internal/pipeline"
+	"misusedetect/internal/rollout"
 )
 
 func main() {
@@ -75,6 +98,8 @@ func main() {
 	adaptSensitivity := fs.Float64("adapt-sensitivity", 1, "Page-Hinkley alarm threshold (lambda); lower = more sensitive, earlier retrains")
 	adaptGuardrail := fs.Float64("adapt-guardrail", 0.05, "tolerated held-out AUC regression of a retrained generation before the swap is refused")
 	adaptFPR := fs.Float64("adapt-fpr", 0.05, "false-positive budget for recalibrating per-cluster alarm floors")
+	canaryFrac := fs.Float64("canary-frac", 0, "fraction of new sessions pinned to a published canary candidate (0 disables staged rollouts; reload then swaps directly)")
+	canaryMin := fs.Int("canary-min-sessions", 50, "finished sessions each rollout arm needs before the comparator promotes or rolls back")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -92,6 +117,8 @@ func main() {
 		sensitivity: *adaptSensitivity,
 		guardrail:   *adaptGuardrail,
 		fpr:         *adaptFPR,
+		canaryFrac:  *canaryFrac,
+		canaryMin:   *canaryMin,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "misused:", err)
@@ -108,9 +135,22 @@ type daemonConfig struct {
 	adaptRoot                     string
 	minSessions, window           int
 	sensitivity, guardrail, fpr   float64
+	canaryFrac                    float64
+	canaryMin                     int
 }
 
 func run(cfg daemonConfig) error {
+	// Integrity gate before any weight is decoded: a torn, truncated, or
+	// tampered model directory is refused at startup exactly like at
+	// reload. Directories saved before checksums existed load with a
+	// warning (migration path).
+	rep, err := rollout.Verify(cfg.modelDir)
+	if err != nil {
+		return fmt.Errorf("verify model: %w", err)
+	}
+	if rep.Legacy {
+		fmt.Printf("warning: model directory %s predates artifact checksums; loading unverified (re-save the model to add them)\n", cfg.modelDir)
+	}
 	det, err := core.LoadDetector(cfg.modelDir)
 	if err != nil {
 		return fmt.Errorf("load model: %w", err)
@@ -138,6 +178,19 @@ func run(cfg daemonConfig) error {
 		Registry:   reg,
 		Logf:       logf,
 	}
+	var canary *rollout.Controller
+	if cfg.canaryFrac > 0 {
+		canary, err = rollout.NewController(reg, rollout.Config{
+			Fraction:    cfg.canaryFrac,
+			MinSessions: cfg.canaryMin,
+			Logf:        logf,
+		})
+		if err != nil {
+			return fmt.Errorf("start canary controller: %w", err)
+		}
+		scfg.Canary = canary
+		scfg.OnSessionEnd = canary.OnSessionEnd
+	}
 	if cfg.adapt {
 		dcfg := drift.DefaultConfig()
 		dcfg.PageHinkley.Lambda = cfg.sensitivity
@@ -151,14 +204,25 @@ func run(cfg daemonConfig) error {
 			FPRBudget:      cfg.fpr,
 			ModelRoot:      cfg.adaptRoot,
 			AutoCycle:      true,
+			Canary:         canary,
 			Logf:           logf,
 		})
 		if err != nil {
 			return fmt.Errorf("start adaptation pipeline: %w", err)
 		}
 		scfg.Adapter = adapter
-		scfg.OnSessionEnd = adapter.OnSessionEnd
 		scfg.RecordSessions = true
+		if canary != nil {
+			// Both consumers feed off every finished session: the rollout
+			// comparator first (cheap counters), then the drift/retrain
+			// pipeline.
+			scfg.OnSessionEnd = func(sum core.SessionSummary) {
+				canary.OnSessionEnd(sum)
+				adapter.OnSessionEnd(sum)
+			}
+		} else {
+			scfg.OnSessionEnd = adapter.OnSessionEnd
+		}
 	}
 	srv, err := NewServer(det, scfg)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/core"
 	"misusedetect/internal/pipeline"
+	"misusedetect/internal/rollout"
 )
 
 // ServerConfig configures the monitoring daemon.
@@ -39,6 +40,12 @@ type ServerConfig struct {
 	// Adapter enables the {"cmd":"drift"} and {"cmd":"adapt"} control
 	// commands; nil answers them with an error line.
 	Adapter *pipeline.Adapter
+	// Canary enables staged rollouts: {"cmd":"reload"} publishes the
+	// model directory as a canary candidate (a fraction of new sessions)
+	// instead of swapping it fleet-wide, and the "canary",
+	// "canary-promote", and "canary-rollback" control commands inspect
+	// and decide the pending rollout. Nil keeps the direct-swap reload.
+	Canary *rollout.Controller
 	// OnSessionEnd and RecordSessions are passed through to the engine
 	// (the adapter's feed).
 	OnSessionEnd   func(core.SessionSummary)
@@ -68,11 +75,29 @@ type ReloadReply struct {
 	Reload ReloadStatus `json:"reload"`
 }
 
-// ReloadStatus describes the installed model generation.
+// ReloadStatus describes the installed model generation. Canary marks a
+// staged reload: the generation serves only Fraction of new sessions
+// until the rollout controller promotes it.
 type ReloadStatus struct {
-	Version  uint64 `json:"version"`
-	Backend  string `json:"backend"`
-	Clusters int    `json:"clusters"`
+	Version  uint64  `json:"version"`
+	Backend  string  `json:"backend"`
+	Clusters int     `json:"clusters"`
+	Canary   bool    `json:"canary,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+	// Legacy warns that the directory predates artifact checksums and
+	// loaded unverified.
+	Legacy bool `json:"legacy,omitempty"`
+}
+
+// CanaryReply is the JSON line written back for a canary-status request.
+type CanaryReply struct {
+	Canary rollout.Status `json:"canary"`
+}
+
+// CanaryVerdictReply is the JSON line written back when an operator
+// forces a promote or rollback.
+type CanaryVerdictReply struct {
+	Verdict *rollout.Verdict `json:"canary_verdict"`
 }
 
 // ErrorReply is the JSON line written back when a control command fails
@@ -436,6 +461,14 @@ func (s *Server) handleCommand(cmd string, enc *json.Encoder, writeMu *sync.Mute
 		s.writeReply(enc, writeMu, conn, &DriftReply{Drift: s.cfg.Adapter.Status()})
 	case "adapt":
 		s.handleAdapt(enc, writeMu, conn)
+	case "canary":
+		if s.cfg.Canary == nil {
+			s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "canary rollouts disabled (start misused with -canary-frac)"})
+			return
+		}
+		s.writeReply(enc, writeMu, conn, &CanaryReply{Canary: s.cfg.Canary.Status()})
+	case "canary-promote", "canary-rollback":
+		s.handleCanaryDecision(cmd, enc, writeMu, conn)
 	default:
 		s.logf("unknown command %q from %s", cmd, conn.RemoteAddr())
 		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("unknown command %q", cmd)})
@@ -465,14 +498,29 @@ func (s *Server) handleAdapt(enc *json.Encoder, writeMu *sync.Mutex, conn net.Co
 	s.writeReply(enc, writeMu, conn, &AdaptReply{Adapt: rep})
 }
 
-// handleReload re-reads the model directory and hot-swaps the new
-// generation into the engine registry (together with the directory's
-// calibrated thresholds.json when present). Sessions already streaming
-// keep their pinned generation; new sessions score with the reloaded
-// one.
+// handleReload re-reads the model directory — verifying its manifest
+// checksums first; torn, truncated, or tampered directories are refused
+// before any weight is touched — and installs the new generation:
+// directly into the engine registry without a rollout controller
+// (together with the directory's calibrated thresholds.json when
+// present), or as a canary candidate serving a fraction of new sessions
+// with one. Sessions already streaming keep their pinned generation.
 func (s *Server) handleReload(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
 	if s.cfg.ModelDir == "" {
 		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "reload unavailable: server started without a model directory"})
+		return
+	}
+	rep, err := rollout.Verify(s.cfg.ModelDir)
+	if err != nil {
+		s.logf("reload %s: %v", s.cfg.ModelDir, err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
+		return
+	}
+	if rep.Legacy {
+		s.logf("reload %s: manifest predates artifact checksums; loading unverified (re-save the model to add them)", s.cfg.ModelDir)
+	}
+	if s.cfg.Canary != nil {
+		s.handleCanaryReload(enc, writeMu, conn, rep.Legacy)
 		return
 	}
 	mv, err := s.engine.Registry().LoadFrom(s.cfg.ModelDir)
@@ -487,7 +535,55 @@ func (s *Server) handleReload(enc *json.Encoder, writeMu *sync.Mutex, conn net.C
 		Version:  mv.Version,
 		Backend:  mv.Det.Backend(),
 		Clusters: mv.Det.ClusterCount(),
+		Legacy:   rep.Legacy,
 	}})
+}
+
+// handleCanaryReload publishes the model directory as the canary
+// candidate: a fraction of new sessions pins to it while the comparator
+// gathers evidence; promotion (or quarantine) comes later.
+func (s *Server) handleCanaryReload(enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn, legacy bool) {
+	det, monitor, err := core.LoadGeneration(s.cfg.ModelDir)
+	if err != nil {
+		s.logf("reload %s: %v", s.cfg.ModelDir, err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
+		return
+	}
+	mv, err := s.cfg.Canary.Publish(det, monitor, s.cfg.ModelDir, s.cfg.ModelDir)
+	if err != nil {
+		s.logf("reload %s: %v", s.cfg.ModelDir, err)
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("reload: %v", err)})
+		return
+	}
+	s.writeReply(enc, writeMu, conn, &ReloadReply{Reload: ReloadStatus{
+		Version:  mv.Version,
+		Backend:  mv.Det.Backend(),
+		Clusters: mv.Det.ClusterCount(),
+		Canary:   true,
+		Fraction: s.cfg.Canary.Fraction(),
+		Legacy:   legacy,
+	}})
+}
+
+// handleCanaryDecision force-promotes or force-rolls-back the pending
+// canary on operator demand and replies with the applied verdict.
+func (s *Server) handleCanaryDecision(cmd string, enc *json.Encoder, writeMu *sync.Mutex, conn net.Conn) {
+	if s.cfg.Canary == nil {
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: "canary rollouts disabled (start misused with -canary-frac)"})
+		return
+	}
+	var v *rollout.Verdict
+	var err error
+	if cmd == "canary-promote" {
+		v, err = s.cfg.Canary.Promote()
+	} else {
+		v, err = s.cfg.Canary.Rollback()
+	}
+	if err != nil {
+		s.writeReply(enc, writeMu, conn, &ErrorReply{Error: fmt.Sprintf("%s: %v", cmd, err)})
+		return
+	}
+	s.writeReply(enc, writeMu, conn, &CanaryVerdictReply{Verdict: v})
 }
 
 // writeReply encodes one control reply under the connection's write lock

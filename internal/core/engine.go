@@ -86,6 +86,10 @@ type SessionSummary struct {
 	Cluster int
 	// ModelVersion is the registry generation the session was pinned to.
 	ModelVersion uint64
+	// Canary marks a session pinned to the pending canary candidate by
+	// Registry.Assign rather than to the serving generation; the rollout
+	// comparator splits its per-arm samples on this flag.
+	Canary bool
 	// Observed counts the actions the session's monitor scored; Unknown
 	// counts submitted actions outside the session's model vocabulary —
 	// the raw signal of vocabulary drift. Unknown actions still carry
@@ -190,6 +194,16 @@ type EngineStats struct {
 	AlarmsRaised    uint64 `json:"alarms_raised"`
 	Evictions       uint64 `json:"evictions"`
 	ScoreErrors     uint64 `json:"score_errors"`
+	// Canary arm, present while a staged rollout is pending:
+	// CanaryVersion/CanaryFraction describe the candidate generation and
+	// its traffic slice; CanarySessions/CanaryAlarms count sessions ever
+	// pinned to a canary arm and the alarms they raised (cumulative, so
+	// the per-arm rates in a rollout verdict remain auditable after
+	// promotion or rollback).
+	CanaryVersion  uint64  `json:"canary_version,omitempty"`
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
+	CanarySessions uint64  `json:"canary_sessions,omitempty"`
+	CanaryAlarms   uint64  `json:"canary_alarms,omitempty"`
 }
 
 // BatchEvent is one pre-tokenized event: the wire edge interns the action
@@ -307,9 +321,13 @@ func (rt *remapTable) extend(snap *actionlog.InternSnapshot) {
 // current when the session started; version records it for alarm
 // stamping. A model reload never touches existing sessions.
 type engineSession struct {
-	mon      *SessionMonitor
-	remap    *remapTable
-	version  uint64
+	mon     *SessionMonitor
+	remap   *remapTable
+	version uint64
+	// canary marks a session Assign pinned to the pending candidate
+	// generation; its alarms feed the per-arm counters and its summary
+	// carries the flag for the rollout comparator.
+	canary   bool
 	sink     chan<- Alarm
 	lastSeen time.Time
 	user     string
@@ -361,14 +379,16 @@ type Engine struct {
 	mu     sync.RWMutex
 	closed bool
 
-	seq         atomic.Uint64
-	submitted   atomic.Uint64
-	processed   atomic.Uint64
-	batches     atomic.Uint64
-	sessions    atomic.Int64
-	alarms      atomic.Uint64
-	evictions   atomic.Uint64
-	scoreErrors atomic.Uint64
+	seq           atomic.Uint64
+	submitted     atomic.Uint64
+	processed     atomic.Uint64
+	batches       atomic.Uint64
+	sessions      atomic.Int64
+	alarms        atomic.Uint64
+	evictions     atomic.Uint64
+	scoreErrors   atomic.Uint64
+	canaryStarted atomic.Uint64
+	canaryAlarmed atomic.Uint64
 
 	// detMu guards detAlarms, the deterministic-mode alarm buffer.
 	detMu     sync.Mutex
@@ -664,7 +684,7 @@ func (e *Engine) Stats() EngineStats {
 	}
 	mv := e.reg.Current()
 	snap := e.interner.Snapshot()
-	return EngineStats{
+	st := EngineStats{
 		Shards:       len(e.shards),
 		Backend:      mv.Det.Backend(),
 		ModelVersion: mv.Version,
@@ -681,7 +701,14 @@ func (e *Engine) Stats() EngineStats {
 		AlarmsRaised:     e.alarms.Load(),
 		Evictions:        e.evictions.Load(),
 		ScoreErrors:      e.scoreErrors.Load(),
+		CanarySessions:   e.canaryStarted.Load(),
+		CanaryAlarms:     e.canaryAlarmed.Load(),
 	}
+	if cmv, frac := e.reg.Canary(); cmv != nil {
+		st.CanaryVersion = cmv.Version
+		st.CanaryFraction = frac
+	}
+	return st
 }
 
 // Drain blocks until every submitted event has been scored. The caller
@@ -871,8 +898,10 @@ func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Tim
 		// a concurrent Reload never changes the weights mid-session.
 		// The generation also pins the monitor configuration when it
 		// carries a calibrated one: recalibrated floors roll out with
-		// the weights they were calibrated for.
-		mv := s.e.reg.Current()
+		// the weights they were calibrated for. With a canary pending,
+		// Assign deterministically routes the canary fraction of new
+		// sessions to the candidate generation instead.
+		mv, canary := s.e.reg.Assign(ev.sessionID)
 		mcfg := s.e.cfg.Monitor
 		if mv.Monitor != nil {
 			mcfg = *mv.Monitor
@@ -889,11 +918,15 @@ func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Tim
 			mon:     mon,
 			remap:   s.remapFor(mv.Det.Vocabulary()),
 			version: mv.Version,
+			canary:  canary,
 			user:    ev.user,
 			start:   ev.time,
 		}
 		s.sessions[ev.sessionID] = sess
 		s.e.sessions.Add(1)
+		if canary {
+			s.e.canaryStarted.Add(1)
+		}
 	}
 	sess.sink = sink
 	sess.lastSeen = now
@@ -935,6 +968,9 @@ func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Tim
 		return
 	}
 	sess.alarms += len(step.Alarms)
+	if sess.canary && len(step.Alarms) > 0 {
+		s.e.canaryAlarmed.Add(uint64(len(step.Alarms)))
+	}
 	for _, kind := range step.Alarms {
 		a := Alarm{
 			Seq:          ev.seq,
@@ -999,6 +1035,7 @@ func (s *engineShard) end(id string, sess *engineSession) {
 		Start:        sess.start,
 		Cluster:      sess.mon.Cluster(),
 		ModelVersion: sess.version,
+		Canary:       sess.canary,
 		Observed:     sess.mon.Position(),
 		Unknown:      sess.unknown,
 		Alarms:       sess.alarms,

@@ -55,6 +55,26 @@ func DefaultMonitorConfig() MonitorConfig {
 }
 
 func (c *MonitorConfig) validate() error {
+	// NaN passes every range check below (NaN < 0 and NaN > 1 are both
+	// false) and a NaN floor silently disables alarms (likelihood < NaN
+	// is always false), so non-finite values are rejected first.
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"LikelihoodFloor", c.LikelihoodFloor},
+		{"EWMAAlpha", c.EWMAAlpha},
+		{"TrendDrop", c.TrendDrop},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("core: %s is %v; must be finite", f.name, f.v)
+		}
+	}
+	for i, f := range c.ClusterFloors {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("core: ClusterFloors[%d] is %v; must be finite", i, f)
+		}
+	}
 	if c.LikelihoodFloor < 0 || c.LikelihoodFloor > 1 {
 		return fmt.Errorf("core: LikelihoodFloor %v outside [0,1]", c.LikelihoodFloor)
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMonitorConfigRejectsNonFinite pins the NaN/Inf guard: NaN passes
+// every plain range check (NaN < 0 and NaN > 1 are both false), and a
+// NaN likelihood floor silently disables alarms — so validation must
+// reject non-finite values explicitly, before the range checks run.
+func TestMonitorConfigRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*MonitorConfig)
+		want   string
+	}{
+		{"NaN floor", func(c *MonitorConfig) { c.LikelihoodFloor = math.NaN() }, "LikelihoodFloor"},
+		{"Inf floor", func(c *MonitorConfig) { c.LikelihoodFloor = math.Inf(1) }, "LikelihoodFloor"},
+		{"negative Inf floor", func(c *MonitorConfig) { c.LikelihoodFloor = math.Inf(-1) }, "LikelihoodFloor"},
+		{"NaN alpha", func(c *MonitorConfig) { c.EWMAAlpha = math.NaN() }, "EWMAAlpha"},
+		{"Inf alpha", func(c *MonitorConfig) { c.EWMAAlpha = math.Inf(1) }, "EWMAAlpha"},
+		{"NaN trend drop", func(c *MonitorConfig) { c.TrendDrop = math.NaN() }, "TrendDrop"},
+		{"NaN cluster floor", func(c *MonitorConfig) { c.ClusterFloors = []float64{0.1, math.NaN()} }, "ClusterFloors[1]"},
+		{"Inf cluster floor", func(c *MonitorConfig) { c.ClusterFloors = []float64{math.Inf(-1)} }, "ClusterFloors[0]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultMonitorConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if err == nil {
+				t.Fatal("non-finite monitor config validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "finite") {
+				t.Fatalf("error %q does not name %s as non-finite", err, tc.want)
+			}
+			// The same config must be refused at the persistence boundary.
+			if err := SaveMonitorConfig(filepath.Join(t.TempDir(), "thresholds.json"), cfg); err == nil {
+				t.Fatal("SaveMonitorConfig accepted a non-finite config")
+			}
+		})
+	}
+	cfg := DefaultMonitorConfig()
+	if err := cfg.validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -46,15 +47,30 @@ type ModelVersion struct {
 // never a moment where a reader can observe a half-installed model set
 // — the zero-downtime hot-reload primitive.
 type Registry struct {
-	// mu serializes swaps so version numbers are strictly increasing
-	// even under concurrent reload requests.
+	// mu serializes swaps and canary transitions so version numbers are
+	// strictly increasing even under concurrent reload requests.
 	mu  sync.Mutex
 	cur atomic.Pointer[ModelVersion]
+	// canary, when non-nil, holds a candidate generation serving a
+	// deterministic slice of new sessions (see Assign). The candidate
+	// already carries its own version number.
+	canary atomic.Pointer[canarySlot]
+	// lastVersion is the highest version number ever issued (serving or
+	// canary), guarded by mu; a rolled-back canary never recycles its
+	// number.
+	lastVersion uint64
+}
+
+// canarySlot pairs the candidate generation with the traffic fraction
+// pinned to it.
+type canarySlot struct {
+	mv   *ModelVersion
+	frac float64
 }
 
 // NewRegistry starts a registry at version 1 with the given detector.
 func NewRegistry(det *Detector) (*Registry, error) {
-	r := &Registry{}
+	r := &Registry{lastVersion: 1}
 	if err := validateGeneration(det); err != nil {
 		return nil, err
 	}
@@ -94,8 +110,12 @@ func (r *Registry) swap(det *Detector, monitor *MonitorConfig, source string) (*
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.canary.Load() != nil {
+		return nil, fmt.Errorf("core: registry: a canary generation is pending; promote or roll it back before swapping (or publish the new generation as the canary)")
+	}
+	r.lastVersion++
 	next := &ModelVersion{
-		Version:  r.cur.Load().Version + 1,
+		Version:  r.lastVersion,
 		Det:      det,
 		Monitor:  monitor,
 		Source:   source,
@@ -105,24 +125,150 @@ func (r *Registry) swap(det *Detector, monitor *MonitorConfig, source string) (*
 	return next, nil
 }
 
-// LoadFrom reads a saved detector from dir and swaps it in. When the
-// directory carries a ThresholdsFile fragment (written by the adaptation
-// pipeline or misusectl eval -thresholds), the calibrated monitor config
-// is installed with the generation.
+// LoadFrom verifies a saved model directory (rollout.Verify semantics:
+// checksum-mismatched or truncated artifacts are refused before any
+// weight is touched), reads it, and swaps it in. When the directory
+// carries a ThresholdsFile fragment (written by the adaptation pipeline
+// or misusectl eval -thresholds), the calibrated monitor config is
+// installed with the generation.
 func (r *Registry) LoadFrom(dir string) (*ModelVersion, error) {
-	det, err := LoadDetector(dir)
+	det, monitor, err := LoadGeneration(dir)
 	if err != nil {
-		return nil, fmt.Errorf("core: registry reload: %w", err)
+		return nil, err
 	}
-	tp := filepath.Join(dir, ThresholdsFile)
-	if _, statErr := os.Stat(tp); statErr == nil {
-		monitor, err := LoadMonitorConfig(tp)
-		if err != nil {
-			return nil, fmt.Errorf("core: registry reload: %w", err)
-		}
-		return r.SwapCalibrated(det, monitor, dir)
+	if monitor != nil {
+		return r.SwapCalibrated(det, *monitor, dir)
 	}
 	return r.Swap(det, dir)
+}
+
+// LoadGeneration verifies and reads one saved generation — the detector
+// plus its optional calibrated thresholds fragment — without installing
+// anything. A missing thresholds file is simply absence (nil monitor);
+// any other thresholds read error (permissions, a directory in the way,
+// corrupt JSON) is surfaced instead of silently discarding calibrated
+// floors.
+func LoadGeneration(dir string) (*Detector, *MonitorConfig, error) {
+	if _, err := VerifyArtifact(dir); err != nil {
+		return nil, nil, fmt.Errorf("core: registry reload: %w", err)
+	}
+	det, err := LoadDetector(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: registry reload: %w", err)
+	}
+	monitor, err := LoadMonitorConfig(filepath.Join(dir, ThresholdsFile))
+	switch {
+	case err == nil:
+		return det, &monitor, nil
+	case errors.Is(err, fs.ErrNotExist):
+		return det, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("core: registry reload: calibrated thresholds: %w", err)
+	}
+}
+
+// PublishCanary installs det as the candidate generation for a staged
+// rollout: Assign pins the given fraction of new sessions to it while
+// the rest stay on the serving generation. The candidate gets the next
+// version number; Promote makes it serving, Rollback discards it (the
+// version number is burned, never recycled). Publishing over a pending
+// canary replaces the candidate.
+func (r *Registry) PublishCanary(det *Detector, monitor *MonitorConfig, source string, frac float64) (*ModelVersion, error) {
+	if err := validateGeneration(det); err != nil {
+		return nil, err
+	}
+	// NaN fails both range comparisons, so test for inclusion rather
+	// than exclusion.
+	if !(frac > 0 && frac < 1) {
+		return nil, fmt.Errorf("core: registry: canary fraction %v outside (0,1)", frac)
+	}
+	if monitor != nil {
+		if err := monitor.validate(); err != nil {
+			return nil, fmt.Errorf("core: registry: canary monitor: %w", err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastVersion++
+	mv := &ModelVersion{
+		Version:  r.lastVersion,
+		Det:      det,
+		Monitor:  monitor,
+		Source:   source,
+		LoadedAt: time.Now(),
+	}
+	r.canary.Store(&canarySlot{mv: mv, frac: frac})
+	return mv, nil
+}
+
+// PromoteCanary makes the pending candidate the serving generation and
+// clears the canary slot. Sessions pinned to the previous serving
+// generation are unaffected; only new sessions see the promotion.
+func (r *Registry) PromoteCanary() (*ModelVersion, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := r.canary.Load()
+	if slot == nil {
+		return nil, fmt.Errorf("core: registry: no canary generation is pending")
+	}
+	r.cur.Store(slot.mv)
+	r.canary.Store(nil)
+	return slot.mv, nil
+}
+
+// RollbackCanary clears the canary slot and returns the discarded
+// candidate; new sessions all pin to the serving generation again.
+// Sessions already pinned to the candidate finish on it (immutable
+// generations, exactly like any retired version).
+func (r *Registry) RollbackCanary() (*ModelVersion, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot := r.canary.Load()
+	if slot == nil {
+		return nil, fmt.Errorf("core: registry: no canary generation is pending")
+	}
+	r.canary.Store(nil)
+	return slot.mv, nil
+}
+
+// Canary returns the pending candidate generation and its traffic
+// fraction, or (nil, 0) when no canary is pending.
+func (r *Registry) Canary() (*ModelVersion, float64) {
+	slot := r.canary.Load()
+	if slot == nil {
+		return nil, 0
+	}
+	return slot.mv, slot.frac
+}
+
+// Assign returns the generation a new session pins to: with a canary
+// pending, a deterministic hash of the session ID routes the canary
+// fraction of sessions to the candidate (canary=true) and the rest to
+// serving. The same session ID always lands on the same arm for a given
+// fraction, so retried or re-sharded sessions never flip generations.
+func (r *Registry) Assign(sessionID string) (mv *ModelVersion, canary bool) {
+	if slot := r.canary.Load(); slot != nil && sessionFraction(sessionID) < slot.frac {
+		return slot.mv, true
+	}
+	return r.cur.Load(), false
+}
+
+// sessionFraction hashes a session ID onto [0,1): FNV-1a 64 with a
+// 64-bit avalanche finalizer (FNV alone leaves its high bits visibly
+// skewed on sequential IDs), mapped through the top 53 bits so the
+// float is uniform and a published fraction gets its share of traffic.
+func sessionFraction(sessionID string) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(sessionID); i++ {
+		h ^= uint64(sessionID[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return float64(h>>11) / (1 << 53)
 }
 
 func validateGeneration(det *Detector) error {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,6 +29,13 @@ type storeManifest struct {
 	FeatureMode      ocsvm.FeatureMode `json:"feature_mode"`
 	MinSessionLength int               `json:"min_session_length"`
 	RouteVoteActions int               `json:"route_vote_actions"`
+	// Checksums maps every artifact file of the directory (relative
+	// name, manifest.json excluded) to its SHA-256 hex digest, and
+	// TotalBytes sums their sizes. Save fills both; VerifyArtifact
+	// refuses a directory whose files do not match. Manifests written
+	// before checksums existed carry neither and load with a warning.
+	Checksums  map[string]string `json:"checksums,omitempty"`
+	TotalBytes int64             `json:"total_bytes,omitempty"`
 }
 
 func routerPath(dir string, i int) string {
@@ -37,12 +47,46 @@ func modelPath(dir string, i int) string {
 }
 
 // Save writes the detector to a directory: a JSON manifest plus, per
-// cluster, a gob OC-SVM file and a backend-tagged scorer envelope. The
-// directory is created if needed.
+// cluster, a gob OC-SVM file and a backend-tagged scorer envelope.
+//
+// The write is staged: every file lands in a temporary sibling
+// directory first — cluster files, then the manifest (carrying their
+// SHA-256 checksums) last — and the finished directory is renamed into
+// place. A crash mid-save therefore never leaves a manifest-complete
+// but torn directory behind: either the old directory is still there
+// untouched, or the new one is complete. (POSIX rename cannot replace
+// a non-empty directory atomically, so overwriting an existing target
+// retires it first; a crash in that tiny window leaves the target
+// absent — which every loader refuses cleanly — never torn.)
 func (d *Detector) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("core: create model dir: %w", err)
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return fmt.Errorf("core: create model dir parent: %w", err)
 	}
+	tmp, err := os.MkdirTemp(parent, filepath.Base(dir)+".partial-")
+	if err != nil {
+		return fmt.Errorf("core: create staging dir: %w", err)
+	}
+	// A failed save must not litter the parent with partial stagings;
+	// after a successful rename the staging path no longer exists and
+	// RemoveAll is a no-op.
+	defer os.RemoveAll(tmp)
+	if err := d.writeArtifact(tmp); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("core: retire previous model dir: %w", err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("core: install model dir: %w", err)
+	}
+	return nil
+}
+
+// writeArtifact writes the full model artifact into dir: cluster files
+// first, the checksum-carrying manifest last, so a directory with a
+// manifest is by construction complete.
+func (d *Detector) writeArtifact(dir string) error {
 	man := storeManifest{
 		FormatVersion:    storeFormatVersion,
 		Backend:          d.Backend(),
@@ -50,9 +94,13 @@ func (d *Detector) Save(dir string) error {
 		FeatureMode:      d.cfg.FeatureMode,
 		MinSessionLength: d.cfg.MinSessionLength,
 		RouteVoteActions: d.cfg.RouteVoteActions,
+		Checksums:        make(map[string]string, 2*len(d.clusters)),
 	}
 	for i := range d.clusters {
 		man.ClusterSizes = append(man.ClusterSizes, d.clusters[i].TrainSize)
+		if err := saveCluster(dir, i, &d.clusters[i], &man); err != nil {
+			return err
+		}
 	}
 	data, err := json.MarshalIndent(&man, "", "  ")
 	if err != nil {
@@ -61,32 +109,53 @@ func (d *Detector) Save(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
 		return fmt.Errorf("core: write manifest: %w", err)
 	}
-	for i := range d.clusters {
-		if err := saveCluster(dir, i, &d.clusters[i]); err != nil {
-			return err
-		}
+	return nil
+}
+
+func saveCluster(dir string, i int, c *ClusterModel, man *storeManifest) error {
+	if err := writeHashed(dir, filepath.Base(routerPath(dir, i)), man, func(w io.Writer) error {
+		return c.Router.Save(w)
+	}); err != nil {
+		return fmt.Errorf("core: save router %d: %w", i, err)
+	}
+	if err := writeHashed(dir, filepath.Base(modelPath(dir, i)), man, func(w io.Writer) error {
+		return scorer.Encode(w, c.Model)
+	}); err != nil {
+		return fmt.Errorf("core: save model %d: %w", i, err)
 	}
 	return nil
 }
 
-func saveCluster(dir string, i int, c *ClusterModel) error {
-	rf, err := os.Create(routerPath(dir, i))
+// writeHashed writes one artifact file while hashing the bytes as they
+// go out, recording digest and size in the manifest.
+func writeHashed(dir, name string, man *storeManifest, write func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
-		return fmt.Errorf("core: create router file: %w", err)
+		return err
 	}
-	defer rf.Close()
-	if err := c.Router.Save(rf); err != nil {
-		return fmt.Errorf("core: save router %d: %w", i, err)
+	h := sha256.New()
+	n := &countingWriter{w: io.MultiWriter(f, h)}
+	if err := write(n); err != nil {
+		f.Close()
+		return err
 	}
-	mf, err := os.Create(modelPath(dir, i))
-	if err != nil {
-		return fmt.Errorf("core: create model file: %w", err)
+	if err := f.Close(); err != nil {
+		return err
 	}
-	defer mf.Close()
-	if err := scorer.Encode(mf, c.Model); err != nil {
-		return fmt.Errorf("core: save model %d: %w", i, err)
-	}
+	man.Checksums[name] = hex.EncodeToString(h.Sum(nil))
+	man.TotalBytes += n.n
 	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // LoadDetector reads a detector saved by Save. The loaded detector

@@ -23,6 +23,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"misusedetect/internal/drift"
 	"misusedetect/internal/harness"
 	"misusedetect/internal/logsim"
+	"misusedetect/internal/rollout"
 )
 
 // Config tunes the adaptation pipeline.
@@ -89,6 +91,13 @@ type Config struct {
 	// calibrated thresholds.json), so misused -model can be pointed at a
 	// generation and reloads survive restarts.
 	ModelRoot string
+	// Canary, when non-nil, turns the swap step into a staged rollout:
+	// a passing candidate generation is published to the registry's
+	// canary slot through the controller instead of being promoted to
+	// 100% of traffic, and the controller's comparator decides the
+	// promotion later from live per-arm evidence. A cycle is refused
+	// while a previous candidate is still pending.
+	Canary *rollout.Controller
 	// AutoCycle launches a retrain cycle automatically when a drift
 	// signal has fired and MinSessions candidates are buffered. Off, the
 	// pipeline only detects and reports; cycles run on demand (misusectl
@@ -209,9 +218,13 @@ type CycleReport struct {
 	OldAUC         float64 `json:"old_auc"`
 	NewAUC         float64 `json:"new_auc"`
 	GuardrailDelta float64 `json:"guardrail_delta"`
-	// Swapped reports whether the candidate generation was installed;
-	// Refused carries the guardrail's reason when it was not.
+	// Swapped reports whether the candidate generation was installed as
+	// serving; Canaried reports that it was published to the canary slot
+	// instead (staged rollout — the comparator promotes or rolls it back
+	// later); Refused carries the guardrail's reason when neither
+	// happened.
 	Swapped    bool   `json:"swapped"`
+	Canaried   bool   `json:"canaried,omitempty"`
 	Refused    string `json:"refused,omitempty"`
 	NewVersion uint64 `json:"new_version,omitempty"`
 	// ModelDir is the versioned directory the generation was saved to
@@ -386,6 +399,9 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 		a.mu.Unlock()
 	}()
 
+	if a.cfg.Canary != nil && a.cfg.Canary.Active() {
+		return nil, fmt.Errorf("pipeline: a canary rollout is still pending; promote or roll it back before the next cycle")
+	}
 	candidates := a.snapshotCandidates()
 	if len(candidates) < a.cfg.MinSessions {
 		return nil, fmt.Errorf("pipeline: %d candidate sessions buffered, need %d", len(candidates), a.cfg.MinSessions)
@@ -448,10 +464,7 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 	// Deterministic interleaved split: every k-th candidate is held out
 	// for the guardrail evaluation and floor calibration, the rest
 	// train, so both halves cover the whole buffering window.
-	every := int(1 / a.cfg.HoldoutFrac)
-	if every < 2 {
-		every = 2
-	}
+	every := holdoutStride(a.cfg.HoldoutFrac)
 	groups := make([][]core.EncodedSession, old.ClusterCount())
 	var holdout []*actionlog.Session
 	for i := range candidates {
@@ -535,11 +548,13 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 	calibrated := newBR.Calibrated
 	rep.Calibrated = &calibrated
 
-	// Persist the generation before swapping: a daemon restart then
+	// Persist the generation before publishing: a daemon restart then
 	// serves the adapted model, not the stale -model directory. The
 	// directory is staged under a pending name and renamed to its
 	// gen-NNNN once the registry has assigned the version, so a
 	// concurrent operator reload cannot make name and version disagree.
+	// The staged artifact is verified against its own manifest before
+	// anything is installed — the same integrity gate every loader runs.
 	source := fmt.Sprintf("adapt:%s", reason)
 	staging := ""
 	if a.cfg.ModelRoot != "" {
@@ -550,10 +565,23 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 		if err := core.SaveMonitorConfig(filepath.Join(staging, core.ThresholdsFile), calibrated); err != nil {
 			return nil, fmt.Errorf("pipeline: save thresholds: %w", err)
 		}
+		if _, err := rollout.Verify(staging); err != nil {
+			return nil, fmt.Errorf("pipeline: staged generation failed verification: %w", err)
+		}
 	}
-	mv, err := a.reg.SwapCalibrated(newDet, calibrated, source)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: swap: %w", err)
+	var mv *core.ModelVersion
+	if a.cfg.Canary != nil {
+		mv, err = a.cfg.Canary.Publish(newDet, &calibrated, source, staging)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: canary publish: %w", err)
+		}
+		rep.Canaried = true
+	} else {
+		mv, err = a.reg.SwapCalibrated(newDet, calibrated, source)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: swap: %w", err)
+		}
+		rep.Swapped = true
 	}
 	if staging != "" {
 		dir := filepath.Join(a.cfg.ModelRoot, fmt.Sprintf("gen-%04d", mv.Version))
@@ -564,15 +592,35 @@ func (a *Adapter) cycle(reason string) (rep *CycleReport, err error) {
 			dir = staging
 		}
 		rep.ModelDir = dir
+		if rep.Canaried {
+			// The controller quarantines this directory on rollback.
+			a.cfg.Canary.SetCandidateDir(dir)
+		}
 	}
-	rep.Swapped = true
 	rep.NewVersion = mv.Version
 	rep.DurationSeconds = time.Since(start).Seconds()
-	a.swaps.Add(1)
-	a.logf("adaptation cycle swapped in generation %d (backend %s, AUC %.3f vs %.3f, %d clusters retrained, %d distilled, vocab %d -> %d)",
-		mv.Version, newDet.Backend(), rep.NewAUC, rep.OldAUC, len(rep.RetrainedClusters), len(rep.DistilledClusters), rep.VocabBefore, rep.VocabAfter)
+	if rep.Canaried {
+		a.logf("adaptation cycle published generation %d to the canary (backend %s, AUC %.3f vs %.3f, fraction %.3f)",
+			mv.Version, newDet.Backend(), rep.NewAUC, rep.OldAUC, a.cfg.Canary.Fraction())
+	} else {
+		a.swaps.Add(1)
+		a.logf("adaptation cycle swapped in generation %d (backend %s, AUC %.3f vs %.3f, %d clusters retrained, %d distilled, vocab %d -> %d)",
+			mv.Version, newDet.Backend(), rep.NewAUC, rep.OldAUC, len(rep.RetrainedClusters), len(rep.DistilledClusters), rep.VocabBefore, rep.VocabAfter)
+	}
 	a.resetAfterCycle()
 	return rep, nil
+}
+
+// holdoutStride converts HoldoutFrac into the interleave stride: every
+// stride-th buffered candidate is held out of training. Rounded to the
+// nearest integer — truncation would turn e.g. HoldoutFrac 0.4 into a
+// stride of 2, holding out half the buffer instead of a third.
+func holdoutStride(frac float64) int {
+	every := int(math.Round(1 / frac))
+	if every < 2 {
+		every = 2
+	}
+	return every
 }
 
 // resetAfterCycle clears the candidate buffer and re-arms the drift
