@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -226,6 +229,12 @@ func cmdBench(args []string) error {
 	wireOnly := fs.Bool("wire-only", false, "with -addr: skip the in-process engine sweep")
 	minSpeedup := fs.Float64("min-batch-speedup", 0, "exit nonzero when a wire-mode batched run's events/sec falls below this multiple of its batch-1 baseline (CI gate; needs -addr and batch sizes 1 and >1)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "wire-mode deadline")
+	lstmMode := fs.Bool("lstm", false, "run the LSTM micro-batch sweep (weight precision x engine ScoreBatch) instead of the ingest sweep; -json emits the BENCH_lstm.json format")
+	lstmBatch := fs.String("lstm-batch", "1,64", "comma-separated engine ScoreBatch values for -lstm (1 is the serial reference)")
+	quant := fs.String("quant", "f64,int8,f16", "comma-separated weight precisions for -lstm: f64, int8, f16")
+	minLSTMSpeedup := fs.Float64("min-lstm-speedup", 0, "with -lstm: exit nonzero when the f64 batch speedup falls below this multiple (CI gate; needs quant f64 and ScoreBatch 1 plus a larger value)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after a forced GC) to this file when the bench finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -240,6 +249,80 @@ func cmdBench(args []string) error {
 	batchSizes, err := splitShardCounts(*batch)
 	if err != nil {
 		return fmt.Errorf("bench: bad -batch: %w", err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Written on every exit path (gate failures included) so a
+		// failing CI run still leaves a profile to diagnose.
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *lstmMode {
+		if *addr != "" || *wireOnly {
+			return fmt.Errorf("bench: -lstm is in-process only (drop -addr / -wire-only)")
+		}
+		scoreBatches, err := splitShardCounts(*lstmBatch)
+		if err != nil {
+			return fmt.Errorf("bench: bad -lstm-batch: %w", err)
+		}
+		report, err := harness.BenchLSTM(tr, harness.LSTMBenchOptions{
+			ScoreBatches: scoreBatches,
+			Quants:       splitBackends(*quant),
+			Events:       *events,
+			Shards:       shardCounts[0],
+			QueueDepth:   *queue,
+			Hidden:       *hidden,
+			Epochs:       *epochs,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				return err
+			}
+		} else {
+			renderLSTMBenchReport(report)
+		}
+		if *minLSTMSpeedup > 0 {
+			gated := 0
+			for _, key := range sortedKeys(report.BatchSpeedup) {
+				// Gate the f64 ratio only: it isolates the micro-batching
+				// claim. Quantized ratios stay informational because their
+				// serial baselines are already cheaper.
+				if !strings.HasPrefix(key, "f64/") {
+					continue
+				}
+				gated++
+				if ratio := report.BatchSpeedup[key]; ratio < *minLSTMSpeedup {
+					return fmt.Errorf("bench: lstm %s events/sec speedup %.2fx below the -min-lstm-speedup floor %.2fx", key, ratio, *minLSTMSpeedup)
+				}
+			}
+			if gated == 0 {
+				return fmt.Errorf("bench: -min-lstm-speedup needs quant f64 and -lstm-batch with 1 and a larger value in the same run")
+			}
+		}
+		return nil
 	}
 
 	var results []harness.BenchResult
@@ -307,6 +390,44 @@ func cmdBench(args []string) error {
 		}
 	}
 	return nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Force a collection first so the profile shows live heap, not
+	// garbage awaiting the next GC cycle.
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func renderLSTMBenchReport(r *harness.LSTMBenchReport) {
+	fmt.Printf("lstm micro-batch bench: hidden %d, %d interleaved sessions, %s %s/%s, %d cpus\n",
+		r.Hidden, r.Concurrency, r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Printf("%-6s %11s %6s %8s %12s %9s %6s\n",
+		"quant", "score_batch", "shards", "events", "events/sec", "wall (s)", "alarms")
+	for _, res := range r.Results {
+		fmt.Printf("%-6s %11d %6d %8d %12.0f %9.2f %6d\n",
+			res.Quant, res.ScoreBatch, res.Shards, res.Events, res.EventsPerSec, res.WallSeconds, res.Alarms)
+	}
+	for _, key := range sortedKeys(r.BatchSpeedup) {
+		fmt.Printf("lstm batch speedup %s: %.2fx\n", key, r.BatchSpeedup[key])
+	}
+	for _, key := range sortedKeys(r.QuantThroughput) {
+		fmt.Printf("quant throughput %s vs f64: %.2fx\n", key, r.QuantThroughput[key])
+	}
 }
 
 func renderBenchHeader() {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"misusedetect/internal/actionlog"
+	"misusedetect/internal/scorer"
 )
 
 // Alarm is one engine output record: a session looked suspicious at a
@@ -44,6 +45,19 @@ type EngineConfig struct {
 	// IdleExpiry evicts sessions that have not seen an event for this
 	// long; 0 disables eviction (replay and tests).
 	IdleExpiry time.Duration
+	// ScoreBatch caps how many session streams one shard advances in a
+	// single fused scorer.AdvanceBatch call when it flushes a staged wave
+	// of events. Each shard drains a burst of its queue, stages every
+	// event (session lookup, routing vote, prefix catch-up) and groups
+	// the staged events by their sessions' concrete sequence model, then
+	// drives each group through AdvanceBatch in chunks of this size —
+	// one recurrent GEMM and one output GEMM per chunk on the LSTM
+	// backend instead of one matrix-vector product per event. 0 defaults
+	// to 64; 1 is the serial reference path (every stream advances alone,
+	// exactly like per-event scoring). The fused LSTM kernels are
+	// bit-identical to the serial ones, so deterministic replay is
+	// byte-stable at any setting.
+	ScoreBatch int
 	// Monitor is the per-session alarm configuration.
 	Monitor MonitorConfig
 	// Deterministic switches alarm delivery from streaming sinks to an
@@ -158,6 +172,9 @@ func (c *EngineConfig) setDefaults() {
 	if c.MaxRecordedActions == 0 {
 		c.MaxRecordedActions = 512
 	}
+	if c.ScoreBatch == 0 {
+		c.ScoreBatch = 64
+	}
 }
 
 func (c *EngineConfig) validate() error {
@@ -169,6 +186,9 @@ func (c *EngineConfig) validate() error {
 	}
 	if c.IdleExpiry < 0 {
 		return fmt.Errorf("core: engine IdleExpiry must be >= 0, got %v", c.IdleExpiry)
+	}
+	if c.ScoreBatch < 1 {
+		return fmt.Errorf("core: engine ScoreBatch must be >= 1, got %d", c.ScoreBatch)
 	}
 	return c.Monitor.validate()
 }
@@ -335,6 +355,36 @@ type engineSession struct {
 	alarms   int
 	unknown  int
 	tokens   []int32
+	// waveMark is the shard wave counter value of the wave this session
+	// last staged an event into: a second event of the same session in
+	// one wave forces a flush first, so a session never has two
+	// observations in flight (session order is the one ordering the
+	// engine guarantees).
+	waveMark uint64
+}
+
+// stagedEvent is one event of a shard's current wave: staged (session
+// resolved, routing voted, stream caught up) but with its stream advance
+// deferred to the wave flush, where advances are fused per sequence
+// model across sessions.
+type stagedEvent struct {
+	ev   tokEvent
+	sess *engineSession
+	sc   scorer.Scorer
+	st   scorer.Stream
+	// idx is the event's index in the session's pinned model vocabulary.
+	idx int32
+	lik float64
+	// errd marks a staged event whose fused advance failed; its
+	// FinishToken is skipped (the score error was already counted).
+	errd bool
+}
+
+// waveGroup collects the wave positions of all staged events that share
+// one concrete sequence model, in staged (FIFO) order.
+type waveGroup struct {
+	sc   scorer.Scorer
+	idxs []int
 }
 
 // engineShard owns a partition of the session space: its goroutine is the
@@ -346,6 +396,17 @@ type engineShard struct {
 	// remaps caches one token→index table per model-generation
 	// vocabulary (shard-local, so no locking).
 	remaps map[*actionlog.Vocabulary]*remapTable
+	// Wave state (shard-goroutine-local): waveID counts flushed waves
+	// (starting at 1 so a zero-valued session waveMark never matches),
+	// wave holds the staged events of the current wave, groups and the
+	// streams/actions/liks triple are flush-time scratch reused across
+	// waves.
+	waveID  uint64
+	wave    []stagedEvent
+	groups  []waveGroup
+	streams []scorer.Stream
+	actions []int
+	liks    []float64
 }
 
 // Engine is the sharded concurrent scoring path: N shards, each with its
@@ -432,6 +493,7 @@ func NewEngineRegistry(reg *Registry, cfg EngineConfig) (*Engine, error) {
 			in:       make(chan shardMsg, cfg.QueueDepth),
 			sessions: make(map[string]*engineSession),
 			remaps:   make(map[*actionlog.Vocabulary]*remapTable),
+			waveID:   1,
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
@@ -783,8 +845,13 @@ func (e *Engine) Close() {
 // the idle-eviction ticker.
 const drainBurst = 64
 
-// run is the shard loop: score queued events (draining bursts of the
-// queue per wakeup), evict idle sessions.
+// run is the shard loop: stage queued events into waves (draining bursts
+// of the queue per wakeup), flush each wave with fused batched scoring
+// before going back to sleep, evict idle sessions. The wave is ALWAYS
+// flushed before the loop re-enters the outer select: a staged event has
+// not been counted processed yet, so leaving one parked would wedge
+// Drain (and with it DrainAlarms, Replay, and every caller that waits
+// for the queues to empty).
 func (s *engineShard) run() {
 	defer s.e.wg.Done()
 	var ticker *time.Ticker
@@ -802,8 +869,10 @@ func (s *engineShard) run() {
 			// back through the outer select.
 			for burst := 0; ; burst++ {
 				if !ok {
-					// Closing: every remaining session ends now, so
-					// the adaptation hook sees the complete picture.
+					// Closing: finish staged work, then end every
+					// remaining session so the adaptation hook sees
+					// the complete picture.
+					s.flushWave()
 					s.evictAll()
 					return
 				}
@@ -818,6 +887,7 @@ func (s *engineShard) run() {
 				}
 				break
 			}
+			s.flushWave()
 		case <-tick:
 			s.evictIdle(time.Now())
 		}
@@ -825,9 +895,14 @@ func (s *engineShard) run() {
 }
 
 // dispatch routes one queue message: control, batch, or single event.
+// Control messages flush the staged wave first, so the FIFO contract of
+// Detach and Flush (everything submitted before them is fully scored)
+// holds with staging in play. Event batches are released as soon as
+// their events are staged — staging copies each tokEvent by value.
 func (s *engineShard) dispatch(msg shardMsg) {
 	switch {
 	case msg.detach != nil:
+		s.flushWave()
 		for _, sess := range s.sessions {
 			if sess.sink == msg.detach {
 				sess.sink = nil
@@ -835,19 +910,17 @@ func (s *engineShard) dispatch(msg shardMsg) {
 		}
 		msg.ack <- struct{}{}
 	case msg.flush:
+		s.flushWave()
 		s.evictAll()
 		msg.ack <- struct{}{}
 	case msg.batch != nil:
 		now := time.Now()
 		for i := range msg.batch.evs {
-			s.processEvent(&msg.batch.evs[i], msg.batch.sink, now)
+			s.stageEvent(&msg.batch.evs[i], msg.batch.sink, now)
 		}
-		s.e.processed.Add(uint64(len(msg.batch.evs)))
 		releaseBatch(msg.batch)
 	default:
-		now := time.Now()
-		s.processEvent(&msg.ev, msg.sink, now)
-		s.e.processed.Add(1)
+		s.stageEvent(&msg.ev, msg.sink, time.Now())
 	}
 }
 
@@ -886,12 +959,29 @@ func (s *engineShard) pruneRemaps() {
 	}
 }
 
-// processEvent scores one tokenized event against its session monitor and
-// routes any alarms. Runs only on the shard goroutine: the session map,
-// the remap tables, and the monitors (with their preallocated scratch
-// buffers) are shard-local.
-func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Time) {
+// maxWave bounds how many staged events a shard parks before flushing
+// mid-burst, so a burst of large submitted batches cannot grow the wave
+// without bound.
+const maxWave = 1024
+
+// stageEvent resolves one tokenized event — session lookup or creation,
+// vocabulary remap, routing vote, prefix catch-up — and parks it on the
+// shard's current wave for the fused stream advance at flush time. Runs
+// only on the shard goroutine: the session map, the remap tables, and
+// the monitors (with their preallocated scratch buffers) are
+// shard-local. Events that finish at stage time (unknown action, scoring
+// error) are counted processed immediately; staged events are counted
+// when the wave flushes.
+func (s *engineShard) stageEvent(ev *tokEvent, sink chan<- Alarm, now time.Time) {
 	sess, ok := s.sessions[ev.sessionID]
+	if ok && sess.waveMark == s.waveID {
+		// Second event of one session in the same wave: the engine's
+		// ordering guarantee is per-session submission order, so the
+		// pending observation must complete before this one stages.
+		// Flushing before the session is touched also keeps the staged
+		// event's alarms going to the sink of its own submission.
+		s.flushWave()
+	}
 	if !ok {
 		// Pin the session to the registry generation current at its
 		// first event: the monitor holds that generation's detector, so
@@ -952,6 +1042,7 @@ func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Tim
 		// it later.
 		sess.unknown++
 		s.e.scoreErrors.Add(1)
+		s.e.processed.Add(1)
 		if s.e.cfg.Logf != nil {
 			name := ev.action
 			if ev.tok >= 0 {
@@ -961,12 +1052,102 @@ func (s *engineShard) processEvent(ev *tokEvent, sink chan<- Alarm, now time.Tim
 		}
 		return
 	}
-	step, err := sess.mon.ObserveToken(int(idx))
+	sc, st, err := sess.mon.StageToken(int(idx))
 	if err != nil {
 		s.e.scoreErrors.Add(1)
+		s.e.processed.Add(1)
 		s.e.logf("session %s: %v", ev.sessionID, err)
 		return
 	}
+	sess.waveMark = s.waveID
+	s.wave = append(s.wave, stagedEvent{ev: *ev, sess: sess, sc: sc, st: st, idx: idx})
+	if len(s.wave) >= maxWave {
+		s.flushWave()
+	}
+}
+
+// flushWave completes every staged event of the current wave: the parked
+// stream advances run grouped by concrete sequence model (first-seen
+// order) through scorer.AdvanceBatch in ScoreBatch-sized chunks — one
+// fused batched step per chunk on backends that implement the fused
+// path, the serial per-stream loop on the rest — then each event's
+// FinishToken and alarm emission runs in staged (per-shard FIFO) order.
+// Each session appears at most once per wave and the fused LSTM kernels
+// are bit-identical to the serial ones, so the observable outcome is
+// exactly that of per-event scoring.
+func (s *engineShard) flushWave() {
+	if len(s.wave) == 0 {
+		return
+	}
+	for i := range s.wave {
+		gi := -1
+		for g := range s.groups {
+			if s.groups[g].sc == s.wave[i].sc {
+				gi = g
+				break
+			}
+		}
+		if gi < 0 {
+			if len(s.groups) < cap(s.groups) {
+				s.groups = s.groups[:len(s.groups)+1]
+				s.groups[len(s.groups)-1].sc = s.wave[i].sc
+			} else {
+				s.groups = append(s.groups, waveGroup{sc: s.wave[i].sc})
+			}
+			gi = len(s.groups) - 1
+		}
+		s.groups[gi].idxs = append(s.groups[gi].idxs, i)
+	}
+	chunk := s.e.cfg.ScoreBatch
+	for g := range s.groups {
+		grp := &s.groups[g]
+		for off := 0; off < len(grp.idxs); off += chunk {
+			end := off + chunk
+			if end > len(grp.idxs) {
+				end = len(grp.idxs)
+			}
+			s.streams, s.actions, s.liks = s.streams[:0], s.actions[:0], s.liks[:0]
+			for _, wi := range grp.idxs[off:end] {
+				s.streams = append(s.streams, s.wave[wi].st)
+				s.actions = append(s.actions, int(s.wave[wi].idx))
+				s.liks = append(s.liks, 0)
+			}
+			if err := scorer.AdvanceBatch(grp.sc, s.streams, s.actions, s.liks); err != nil {
+				for _, wi := range grp.idxs[off:end] {
+					s.wave[wi].errd = true
+					s.e.scoreErrors.Add(1)
+					s.e.logf("session %s: %v", s.wave[wi].ev.sessionID, err)
+				}
+				continue
+			}
+			for k, wi := range grp.idxs[off:end] {
+				s.wave[wi].lik = s.liks[k]
+			}
+		}
+		grp.sc = nil
+		grp.idxs = grp.idxs[:0]
+	}
+	s.groups = s.groups[:0]
+	for i := range s.wave {
+		w := &s.wave[i]
+		if !w.errd {
+			s.emitStep(w, w.sess.mon.FinishToken(int(w.idx), w.lik))
+		}
+		// Zero the entry so the recycled wave array does not retain
+		// session, stream, or string references past the flush.
+		*w = stagedEvent{}
+	}
+	s.e.processed.Add(uint64(len(s.wave)))
+	for i := range s.streams {
+		s.streams[i] = nil
+	}
+	s.wave = s.wave[:0]
+	s.waveID++
+}
+
+// emitStep routes one finished step's alarms (and alarm counters).
+func (s *engineShard) emitStep(w *stagedEvent, step MonitorStep) {
+	sess, ev := w.sess, &w.ev
 	sess.alarms += len(step.Alarms)
 	if sess.canary && len(step.Alarms) > 0 {
 		s.e.canaryAlarmed.Add(uint64(len(step.Alarms)))

@@ -12,6 +12,7 @@ import (
 	"misusedetect/internal/baseline"
 	"misusedetect/internal/corpus"
 	"misusedetect/internal/logsim"
+	"misusedetect/internal/nn"
 )
 
 // corpusDetector trains one small 13-cluster detector on the embedded
@@ -71,7 +72,11 @@ func trainCorpusNGram(t testing.TB, seed int64) *Detector {
 
 // engineDeterminismMatrix asserts the sharded engine's alarm stream over
 // the embedded corpus is byte-identical to the serial monitor's for
-// every shard count — the determinism anchor, per backend.
+// every (shard count, score-batch) pair — the determinism anchor, per
+// backend. ScoreBatch 1 is the serial reference path (each staged
+// stream advances alone), 3 forces ragged chunk tails, 64 is the fused
+// production default; all three must agree with the unsharded serial
+// monitor to the byte.
 func engineDeterminismMatrix(t *testing.T, det *Detector) {
 	t.Helper()
 	c, err := corpus.Load()
@@ -96,27 +101,30 @@ func engineDeterminismMatrix(t *testing.T, det *Detector) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	for _, shards := range []int{1, 3, 8} {
-		eng, err := NewEngine(det, EngineConfig{
-			Shards:        shards,
-			QueueDepth:    64,
-			Monitor:       mcfg,
-			Deterministic: true,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := eng.Replay(ctx, events)
-		eng.Close()
-		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
-		}
-		gotJSON, err := json.Marshal(got)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(gotJSON) != string(want) {
-			t.Fatalf("shards=%d: alarm stream diverges from serial path\nserial: %d alarms\nengine: %d alarms",
-				shards, len(serial), len(got))
+		for _, scoreBatch := range []int{1, 3, 64} {
+			eng, err := NewEngine(det, EngineConfig{
+				Shards:        shards,
+				QueueDepth:    64,
+				ScoreBatch:    scoreBatch,
+				Monitor:       mcfg,
+				Deterministic: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Replay(ctx, events)
+			eng.Close()
+			if err != nil {
+				t.Fatalf("shards=%d scoreBatch=%d: %v", shards, scoreBatch, err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(want) {
+				t.Fatalf("shards=%d scoreBatch=%d: alarm stream diverges from serial path\nserial: %d alarms\nengine: %d alarms",
+					shards, scoreBatch, len(serial), len(got))
+			}
 		}
 	}
 }
@@ -132,6 +140,31 @@ func TestEngineDeterminismMatchesSerial(t *testing.T) {
 // the byte-identical alarm stream.
 func TestEngineDeterminismNGramBackend(t *testing.T) {
 	engineDeterminismMatrix(t, trainCorpusNGram(t, 11))
+}
+
+// TestEngineDeterminismInt8Quantized runs the full determinism matrix
+// on the int8-quantized LSTM detector: the quantized kernels compute
+// each output in one scalar accumulation exactly like the serial path,
+// so even at reduced precision the sharded micro-batched engine must
+// reproduce the quantized serial monitor byte for byte.
+func TestEngineDeterminismInt8Quantized(t *testing.T) {
+	qdet, err := corpusDetector(t).Quantize(nn.QuantInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineDeterminismMatrix(t, qdet)
+}
+
+// TestDetectorQuantizeRejectsClassicalBackend pins the error contract:
+// only the LSTM backend has quantized kernels.
+func TestDetectorQuantizeRejectsClassicalBackend(t *testing.T) {
+	det := trainCorpusNGram(t, 11)
+	if _, err := det.Quantize(nn.QuantInt8); err == nil {
+		t.Fatal("quantizing an ngram detector must fail")
+	}
+	if q, err := det.Quantize(nn.QuantNone); err != nil || q != det {
+		t.Fatalf("QuantNone must return the receiver unchanged, got (%v, %v)", q, err)
+	}
 }
 
 // TestEngineAlarmsFlagAnomalies sanity-checks the labels: corpus anomalies

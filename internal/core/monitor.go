@@ -229,6 +229,12 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 		d:        d,
 		mcfg:     mcfg,
 		features: d.featurizer.Stream(),
+		// streams entries stay nil until a cluster first wins the vote:
+		// most sessions only ever route to one or two clusters, and a
+		// stream (with its preallocated scoring scratch) is by far the
+		// most expensive part of session setup, so eager creation would
+		// pay ~clusters times the needed allocation per session.
+		streams:  make([]scorer.Stream, len(d.clusters)),
 		advanced: make([]int, len(d.clusters)),
 		prefix:   make([]int, 0, d.cfg.RouteVoteActions),
 		votes:    make([]int, len(d.clusters)),
@@ -238,16 +244,38 @@ func (d *Detector) NewSessionMonitor(mcfg MonitorConfig) (*SessionMonitor, error
 	if mcfg.TrendWindow > 0 {
 		m.recent = make([]float64, mcfg.TrendWindow)
 	}
-	for i := range d.clusters {
-		m.streams = append(m.streams, d.clusters[i].Model.NewStream())
-	}
 	return m, nil
 }
 
 // ObserveToken consumes the next action token (the detector's vocabulary
 // index, as produced by the edge interner or Detector.Token) and returns
-// the monitoring step, including any alarms.
+// the monitoring step, including any alarms. It is the serial composition
+// of StageToken and FinishToken around a single-stream advance; the
+// engine's micro-batched path calls the two halves itself so the advance
+// in between can be fused across sessions.
 func (m *SessionMonitor) ObserveToken(action int) (MonitorStep, error) {
+	_, st, err := m.StageToken(action)
+	if err != nil {
+		return MonitorStep{}, err
+	}
+	likelihood, err := scorer.ObserveLikelihood(st, action)
+	if err != nil {
+		return MonitorStep{}, err
+	}
+	return m.FinishToken(action, likelihood), nil
+}
+
+// StageToken performs the pre-scoring half of one observation: the
+// routing vote, the vote-window prefix buffering, and the lazy catch-up
+// of the selected cluster's stream. It returns that cluster's sequence
+// model and stream. The caller MUST advance the returned stream by
+// exactly this action — serially via scorer.ObserveLikelihood, or fused
+// with other sessions' streams of the same Scorer via
+// scorer.AdvanceBatch — and then call FinishToken with the observed
+// likelihood; staging without the advance leaves the monitor's
+// stream-position bookkeeping ahead of the stream and the session
+// unusable.
+func (m *SessionMonitor) StageToken(action int) (scorer.Scorer, scorer.Stream, error) {
 	// Update the routing vote during the first RouteVoteActions actions.
 	// The sparse score path exploits that an early prefix touches only a
 	// handful of vocabulary coordinates, so the per-action routing cost
@@ -255,14 +283,14 @@ func (m *SessionMonitor) ObserveToken(action int) (MonitorStep, error) {
 	if m.position < m.d.cfg.RouteVoteActions {
 		x, err := m.features.Observe(action)
 		if err != nil {
-			return MonitorStep{}, err
+			return nil, nil, err
 		}
 		support := m.features.Support()
 		best, bestS := 0, math.Inf(-1)
 		for i := range m.d.clusters {
 			s, err := m.d.clusters[i].Router.ScoreSparse(x, support)
 			if err != nil {
-				return MonitorStep{}, err
+				return nil, nil, err
 			}
 			if s > bestS {
 				best, bestS = i, s
@@ -291,18 +319,26 @@ func (m *SessionMonitor) ObserveToken(action int) (MonitorStep, error) {
 		m.prefix = append(m.prefix, action)
 	}
 	st := m.streams[m.cluster]
+	if st == nil {
+		st = m.d.clusters[m.cluster].Model.NewStream()
+		m.streams[m.cluster] = st
+	}
 	for m.advanced[m.cluster] < m.position {
 		if _, err := scorer.ObserveLikelihood(st, m.prefix[m.advanced[m.cluster]]); err != nil {
-			return MonitorStep{}, err
+			return nil, nil, err
 		}
 		m.advanced[m.cluster]++
 	}
-	likelihood, err := scorer.ObserveLikelihood(st, action)
-	if err != nil {
-		return MonitorStep{}, err
-	}
+	// Pre-pay for the advance the caller owes: after FinishToken the
+	// position moves past this action, so the count must already cover it.
 	m.advanced[m.cluster]++
+	return m.d.clusters[m.cluster].Model, st, nil
+}
 
+// FinishToken consumes the likelihood the staged stream advance observed
+// for action and completes the monitoring step: EWMA smoothing, trend
+// tracking, and alarm evaluation. Must follow a matching StageToken.
+func (m *SessionMonitor) FinishToken(action int, likelihood float64) MonitorStep {
 	step := MonitorStep{
 		Position:   m.position,
 		Action:     action,
@@ -346,7 +382,7 @@ func (m *SessionMonitor) ObserveToken(action int) (MonitorStep, error) {
 		}
 	}
 	m.position++
-	return step, nil
+	return step
 }
 
 // Cluster returns the currently selected behavior cluster.

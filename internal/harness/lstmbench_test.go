@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"misusedetect/internal/lm"
+	"misusedetect/internal/nn"
+)
+
+// TestBenchLSTM smoke-tests the micro-batch bench: one result per
+// (quant, ScoreBatch) cell, sane throughput, and populated ratio maps.
+func TestBenchLSTM(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := BenchLSTM(tr, LSTMBenchOptions{
+		ScoreBatches: []int{1, 16},
+		Quants:       []string{"f64", "int8"},
+		Events:       2000,
+		Concurrency:  64,
+		Hidden:       8,
+		Epochs:       1,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 4 {
+		t.Fatalf("results = %d, want 4 (2 quants x 2 batch sizes)", len(report.Results))
+	}
+	for _, res := range report.Results {
+		if res.EventsPerSec <= 0 || res.Events != 2000 {
+			t.Errorf("%s/batch=%d: events/sec %.1f events %d", res.Quant, res.ScoreBatch, res.EventsPerSec, res.Events)
+		}
+		if res.Sessions < 64 {
+			t.Errorf("%s/batch=%d: %d sessions interleaved, want >= 64", res.Quant, res.ScoreBatch, res.Sessions)
+		}
+	}
+	for _, key := range []string{"f64/batch=16", "int8/batch=16"} {
+		if report.BatchSpeedup[key] <= 0 {
+			t.Errorf("BatchSpeedup[%q] = %.3f, want > 0", key, report.BatchSpeedup[key])
+		}
+	}
+	if report.QuantThroughput["int8"] <= 0 {
+		t.Errorf("QuantThroughput[int8] = %.3f, want > 0", report.QuantThroughput["int8"])
+	}
+	if _, ok := report.QuantThroughput["f64"]; ok {
+		t.Error("QuantThroughput must not contain the f64 baseline itself")
+	}
+}
+
+// TestEvalCorpusLSTMInt8AUCAnchor pins the accuracy cost of int8
+// serving: on the corpus eval split the int8 detector's AUC must sit
+// within 0.01 of the f64 detector it was quantized from.
+func TestEvalCorpusLSTMInt8AUCAnchor(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := EvalOptions{Hidden: 16, Epochs: 4, Seed: 11}
+	det, err := trainDetector(tr, opt, lm.BackendLSTM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64Report, err := EvalDetector(det, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64Report.AUC <= 0.6 {
+		t.Errorf("f64 lstm AUC %.3f <= 0.6, anchor is ~0.64", f64Report.AUC)
+	}
+	qdet, err := det.Quantize(nn.QuantInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Report, err := EvalDetector(qdet, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(int8Report.AUC - f64Report.AUC); diff > 0.01 {
+		t.Errorf("int8 AUC %.4f drifts %.4f from f64 AUC %.4f, tolerance 0.01",
+			int8Report.AUC, diff, f64Report.AUC)
+	}
+}

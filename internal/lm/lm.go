@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"misusedetect/internal/nn"
 	"misusedetect/internal/scorer"
@@ -24,8 +25,9 @@ const BackendLSTM = "lstm"
 // stream assertion pins the seam from this side, so nn never has to
 // import the serving contract.
 var (
-	_ scorer.Scorer = (*Model)(nil)
-	_ scorer.Stream = (*nn.StreamState)(nil)
+	_ scorer.Scorer      = (*Model)(nil)
+	_ scorer.Stream      = (*nn.StreamState)(nil)
+	_ scorer.BatchStream = (*Model)(nil)
 )
 
 func init() {
@@ -60,6 +62,10 @@ func ScaledConfig(vocab, hidden, epochs int, seed int64) Config {
 // Model is a trained language model over a fixed action vocabulary.
 type Model struct {
 	net *nn.LanguageNetwork
+	// batchPool recycles the packed-matrix scratch of AdvanceBatch: one
+	// model generation is served by several engine shards concurrently,
+	// so the transient buffers cannot hang off the (shared) network.
+	batchPool sync.Pool
 }
 
 // Train fits a language model on the encoded sessions of one behavior
@@ -259,6 +265,66 @@ func (m *Model) CorpusLoss(sessions [][]int) (float64, error) {
 	}
 	return lossSum / float64(total), nil
 }
+
+// advanceScratch bundles the reusable buffers of one AdvanceBatch call.
+type advanceScratch struct {
+	scratch *nn.BatchScratch
+	streams []*nn.StreamState
+}
+
+// AdvanceBatch implements scorer.BatchStream: it advances N distinct
+// session streams of this model by one action each with one fused
+// batched step (one recurrent GEMM + one output GEMM for the whole
+// batch), bit-identical to observing each stream serially. Safe for
+// concurrent use by multiple shards; the streams themselves must be
+// disjoint across concurrent calls.
+func (m *Model) AdvanceBatch(streams []scorer.Stream, actions []int, liks []float64) error {
+	if len(streams) != len(actions) || len(streams) != len(liks) {
+		return fmt.Errorf("lm: AdvanceBatch length mismatch streams=%d actions=%d liks=%d",
+			len(streams), len(actions), len(liks))
+	}
+	sc, _ := m.batchPool.Get().(*advanceScratch)
+	if sc == nil {
+		sc = &advanceScratch{scratch: nn.NewBatchScratch()}
+	}
+	defer m.batchPool.Put(sc)
+	sc.streams = sc.streams[:0]
+	for _, st := range streams {
+		ns, ok := st.(*nn.StreamState)
+		if !ok {
+			// A wrapped or foreign stream type cannot be packed; advance
+			// the whole batch serially instead.
+			for i, st := range streams {
+				lik, err := scorer.ObserveLikelihood(st, actions[i])
+				if err != nil {
+					return err
+				}
+				liks[i] = lik
+			}
+			return nil
+		}
+		sc.streams = append(sc.streams, ns)
+	}
+	if err := m.net.ObserveBatch(sc.streams, actions, liks, sc.scratch); err != nil {
+		return fmt.Errorf("lm: %w", err)
+	}
+	return nil
+}
+
+// Quantize returns an inference-only copy of the model with its weights
+// stored at the given precision (nn.QuantF16 or nn.QuantInt8); see
+// nn.LanguageNetwork.Quantize for the precision contract. The receiver
+// is untouched and keeps serving at full precision.
+func (m *Model) Quantize(mode nn.Quantization) (*Model, error) {
+	net, err := m.net.Quantize(mode)
+	if err != nil {
+		return nil, fmt.Errorf("lm: %w", err)
+	}
+	return &Model{net: net}, nil
+}
+
+// Quantization returns the weight precision this model serves at.
+func (m *Model) Quantization() nn.Quantization { return m.net.Quantization() }
 
 // Stream returns an incremental per-action scorer for the online regime.
 func (m *Model) Stream() *nn.StreamState { return m.net.NewStream() }

@@ -27,14 +27,62 @@ func randomSeq(n, vocab int, seed int64) []int {
 
 // BenchmarkLSTMStepPaperSize measures one forward step at the paper's
 // model size (the per-action cost of the online monitor's inner loop).
+// It runs the scratch-reusing serving kernel, which must not allocate:
+// allocs/op is reported and TestLSTMStepPaperSizeZeroAllocs fails the
+// build if a kernel regression reintroduces per-step allocation.
 func BenchmarkLSTMStepPaperSize(b *testing.B) {
 	net := paperSizedNet(b)
 	st := net.lstm.NewState()
+	scratch := net.lstm.NewStepScratch()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.lstm.Step(st, i%300, nil)
+		net.lstm.StepReuse(st, i%300, scratch)
 	}
+}
+
+// TestLSTMStepPaperSizeZeroAllocs is the loud guard behind the
+// benchmark's allocs/op report: the serving step must stay
+// allocation-free in steady state.
+func TestLSTMStepPaperSizeZeroAllocs(t *testing.T) {
+	net, err := NewLanguageNetwork(NetworkConfig{InputSize: 300, HiddenSize: 256, DropoutRate: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.lstm.NewState()
+	scratch := net.lstm.NewStepScratch()
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		net.lstm.StepReuse(st, i%300, scratch)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("StepReuse allocated %.1f times per step, want 0", allocs)
+	}
+}
+
+// BenchmarkLSTMStepBatch measures the cross-session batched step at
+// paper size for contrast with the serial benchmark above: amortizing
+// the weight traffic over 64 live streams is the speedup the engine's
+// tick batching harvests.
+func BenchmarkLSTMStepBatch64(b *testing.B) {
+	net := paperSizedNet(b)
+	const streams = 64
+	states := make([]*State, streams)
+	xs := make([]int, streams)
+	for i := range states {
+		states[i] = net.lstm.NewState()
+	}
+	scratch := NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range xs {
+			xs[j] = (i + j) % 300
+		}
+		net.lstm.StepBatch(states, xs, scratch)
+	}
+	b.ReportMetric(float64(b.N)*streams/b.Elapsed().Seconds(), "steps/s")
 }
 
 // BenchmarkForwardAllAvgSession measures scoring one average-length

@@ -15,6 +15,10 @@ type Dense struct {
 	OutputSize int
 	W          *Param // OutputSize x InputSize
 	B          *Param // 1 x OutputSize
+	// WQ, when non-nil, is the int8 form of W: the layer is
+	// inference-only and the forward kernels read the int8 payload. See
+	// LanguageNetwork.Quantize.
+	WQ *tensor.QuantizedMatrix
 }
 
 // NewDense allocates and Xavier-initializes a dense layer.
@@ -38,15 +42,19 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // Forward computes logits = W x + b.
 func (d *Dense) Forward(x tensor.Vector) tensor.Vector {
 	out := tensor.NewVector(d.OutputSize)
-	copy(out, d.B.W.Data)
-	d.W.W.MulVecAdd(out, x)
+	d.ForwardInto(out, x)
 	return out
 }
 
 // ForwardInto computes logits = W x + b into dst (len OutputSize) without
-// allocating, the scratch-buffer variant of Forward.
+// allocating, the scratch-buffer variant of Forward. Quantized layers
+// read the int8 weights directly.
 func (d *Dense) ForwardInto(dst, x tensor.Vector) {
 	copy(dst, d.B.W.Data)
+	if d.WQ != nil {
+		d.WQ.MulVecAdd(dst, x)
+		return
+	}
 	d.W.W.MulVecAdd(dst, x)
 }
 

@@ -24,6 +24,13 @@ type LSTM struct {
 	// B is the 1 x 4H bias; the forget-gate slice is initialized to 1,
 	// the standard trick to preserve memory early in training.
 	B *Param
+	// WxQ and WhQ, when non-nil, are the int8 forms of Wx and Wh: the
+	// layer is inference-only and every forward kernel reads the int8
+	// payload instead of the float64 weights (which then hold the
+	// dequantized values for introspection only). See
+	// LanguageNetwork.Quantize.
+	WxQ *tensor.QuantizedMatrix
+	WhQ *tensor.QuantizedMatrix
 }
 
 // NewLSTM allocates and initializes an LSTM layer.
@@ -75,20 +82,39 @@ type stepCache struct {
 	tanhC      tensor.Vector
 }
 
+// preactivate computes the gate pre-activations z = b + Wx[:, x] + Wh*h
+// (x < 0 encodes a zero/padded input, skipping the one-hot column), using
+// the int8 weights when the layer is quantized. Every step variant —
+// Step, StepReuse, and the per-row pre-activation of StepBatch — must
+// accumulate in exactly this order so serial and batched inference stay
+// bit-identical.
+func (l *LSTM) preactivate(z tensor.Vector, x int, h tensor.Vector) {
+	copy(z, l.B.W.Data)
+	if l.WhQ != nil {
+		if x >= 0 {
+			for r := 0; r < 4*l.HiddenSize; r++ {
+				z[r] += l.WxQ.At(r, x)
+			}
+		}
+		l.WhQ.MulVecAdd(z, h)
+		return
+	}
+	if x >= 0 {
+		// One-hot input: add column x of Wx.
+		for r := 0; r < 4*l.HiddenSize; r++ {
+			z[r] += l.Wx.W.Data[r*l.InputSize+x]
+		}
+	}
+	l.Wh.W.MulVecAdd(z, h)
+}
+
 // Step advances the state by one input index (x < 0 encodes a zero/padded
 // input) and returns the new hidden vector. When cache is non-nil the step
 // records what the backward pass needs.
 func (l *LSTM) Step(st *State, x int, cache *stepCache) tensor.Vector {
 	hs := l.HiddenSize
 	z := tensor.NewVector(4 * hs)
-	copy(z, l.B.W.Data)
-	if x >= 0 {
-		// One-hot input: add column x of Wx.
-		for r := 0; r < 4*hs; r++ {
-			z[r] += l.Wx.W.Data[r*l.InputSize+x]
-		}
-	}
-	l.Wh.W.MulVecAdd(z, st.H)
+	l.preactivate(z, x, st.H)
 
 	i := tensor.NewVector(hs)
 	f := tensor.NewVector(hs)
@@ -153,13 +179,7 @@ func (l *LSTM) NewStepScratch() *StepScratch {
 func (l *LSTM) StepReuse(st *State, x int, s *StepScratch) tensor.Vector {
 	hs := l.HiddenSize
 	z := s.z
-	copy(z, l.B.W.Data)
-	if x >= 0 {
-		for r := 0; r < 4*hs; r++ {
-			z[r] += l.Wx.W.Data[r*l.InputSize+x]
-		}
-	}
-	l.Wh.W.MulVecAdd(z, st.H)
+	l.preactivate(z, x, st.H)
 	for k := 0; k < hs; k++ {
 		s.i[k] = sigmoid(z[k])
 		s.f[k] = sigmoid(z[hs+k])

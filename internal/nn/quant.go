@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+
+	"misusedetect/internal/tensor"
+)
+
+// Quantization selects the weight precision of an inference network.
+type Quantization int
+
+const (
+	// QuantNone is full float64 precision, the training format.
+	QuantNone Quantization = iota
+	// QuantF16 stores weights as IEEE 754 binary16: serialized models
+	// shrink 4x and in memory the kernels compute in float64 on the
+	// rounded values, so every kernel (serial and batched) is untouched.
+	QuantF16
+	// QuantInt8 stores weights as int8 with one absmax scale per output
+	// row; the hot kernels read the int8 payload directly, trading a
+	// bounded score divergence for an 8x smaller weight working set.
+	QuantInt8
+)
+
+// String returns the serialization tag of the mode: "f64", "f16", "int8".
+func (q Quantization) String() string {
+	switch q {
+	case QuantNone:
+		return "f64"
+	case QuantF16:
+		return "f16"
+	case QuantInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("Quantization(%d)", int(q))
+}
+
+// ParseQuantization maps a mode tag to its Quantization. "f64" (with
+// "f32", "none", and "" as aliases for full precision), "f16", "int8".
+func ParseQuantization(s string) (Quantization, error) {
+	switch s {
+	case "", "f64", "f32", "none":
+		return QuantNone, nil
+	case "f16":
+		return QuantF16, nil
+	case "int8":
+		return QuantInt8, nil
+	}
+	return QuantNone, fmt.Errorf("nn: unknown quantization %q (want f64, f16, or int8)", s)
+}
+
+// Quantization returns the weight precision this network runs at.
+func (n *LanguageNetwork) Quantization() Quantization { return n.quant }
+
+// Quantize returns an inference-only copy of the network with the three
+// weight matrices (lstm.wx, lstm.wh, dense.w) stored at the requested
+// precision; biases stay float64 in every mode (they are a vanishing
+// fraction of the parameters and quantizing them costs accuracy for no
+// bandwidth). The receiver is untouched. Training entry points of the
+// returned network fail: quantized weights have no gradient story.
+//
+// For QuantInt8 the float64 weight storage is replaced by the
+// dequantized values so parameter introspection stays meaningful, but
+// every inference kernel reads the int8 payload — serial and batched
+// int8 scoring are bit-identical to each other by the same
+// ascending-k accumulation contract as the float kernels.
+func (n *LanguageNetwork) Quantize(mode Quantization) (*LanguageNetwork, error) {
+	if n.quant != QuantNone {
+		return nil, fmt.Errorf("nn: network is already quantized (%s)", n.quant)
+	}
+	out, err := NewLanguageNetwork(n.cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, dst := n.Params(), out.Params()
+	for i, p := range src {
+		copy(dst[i].W.Data, p.W.Data)
+	}
+	switch mode {
+	case QuantNone:
+		return out, nil
+	case QuantF16:
+		tensor.RoundMatrixF16(out.lstm.Wx.W)
+		tensor.RoundMatrixF16(out.lstm.Wh.W)
+		tensor.RoundMatrixF16(out.dense.W.W)
+	case QuantInt8:
+		out.lstm.WxQ = tensor.Quantize(out.lstm.Wx.W)
+		out.lstm.WhQ = tensor.Quantize(out.lstm.Wh.W)
+		out.dense.WQ = tensor.Quantize(out.dense.W.W)
+		out.lstm.Wx.W = out.lstm.WxQ.Dequantize()
+		out.lstm.Wh.W = out.lstm.WhQ.Dequantize()
+		out.dense.W.W = out.dense.WQ.Dequantize()
+	default:
+		return nil, fmt.Errorf("nn: unknown quantization mode %d", int(mode))
+	}
+	out.quant = mode
+	return out, nil
+}

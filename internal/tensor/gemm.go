@@ -1,0 +1,116 @@
+package tensor
+
+import "fmt"
+
+// This file holds the batched inference kernels behind the cross-session
+// micro-batched LSTM path. Their contract is stricter than speed: every
+// output element must be bit-identical to what the serial per-row matvec
+// (MulVecAdd) produces, so the engine's deterministic-replay mode stays
+// byte-stable whether streams are advanced one at a time or in a fused
+// batch. That pins the implementation to one rule — each output element
+// is a single dot product accumulated in one scalar over ascending k,
+// never split into partial sums. Blocking and unrolling therefore happen
+// only over the output dimensions (rows of a, rows of b); the reduction
+// dimension is never tiled.
+
+// matMulNTBlockJ is the number of b rows processed per block: the block
+// of the (shared, typically weight) operand streamed while several a
+// rows are resident, sized so a block stays cache-warm across the whole
+// a sweep for the hidden sizes this package serves.
+const matMulNTBlockJ = 32
+
+// MatMulNT computes dst = a * bᵀ where a is M x K, b is N x K and dst is
+// M x N. Both operands are walked along contiguous rows, which is why the
+// batched LSTM keeps its packed stream states and its weight matrices in
+// the same row-major K-minor layout. dst must be preallocated (see
+// GrowMatrix for a reusable scratch) and must not alias a or b.
+//
+// dst[i][j] is bit-identical to Vector(a.Row(i)).Dot(b.Row(j)) — and
+// therefore to the per-row accumulation of MulVecAdd — because each
+// element is reduced in one scalar over ascending k. The kernel blocks
+// over rows of b and unrolls four rows of a against each b row, so one
+// loaded b value feeds four independent accumulators.
+func MatMulNT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNT shape mismatch a=%dx%d b=%dx%d dst=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	k := a.Cols
+	for j0 := 0; j0 < b.Rows; j0 += matMulNTBlockJ {
+		j1 := j0 + matMulNTBlockJ
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		i := 0
+		for ; i+4 <= a.Rows; i += 4 {
+			a0 := a.Data[(i+0)*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k]
+			a2 := a.Data[(i+2)*k : (i+3)*k]
+			a3 := a.Data[(i+3)*k : (i+4)*k]
+			for j := j0; j < j1; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s0, s1, s2, s3 float64
+				for kk, bv := range brow {
+					s0 += a0[kk] * bv
+					s1 += a1[kk] * bv
+					s2 += a2[kk] * bv
+					s3 += a3[kk] * bv
+				}
+				dst.Data[(i+0)*dst.Cols+j] = s0
+				dst.Data[(i+1)*dst.Cols+j] = s1
+				dst.Data[(i+2)*dst.Cols+j] = s2
+				dst.Data[(i+3)*dst.Cols+j] = s3
+			}
+		}
+		for ; i < a.Rows; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := j0; j < j1; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float64
+				for kk, bv := range brow {
+					s += arow[kk] * bv
+				}
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// AddBiasRows adds bias (length m.Cols) to every row of m in place: the
+// batched counterpart of seeding a matvec destination with the bias
+// vector. Because IEEE-754 addition of two operands is commutative,
+// computing dot-then-add-bias here is bit-identical to the serial
+// copy-bias-then-MulVecAdd order.
+func AddBiasRows(m *Matrix, bias Vector) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBiasRows length mismatch m=%dx%d bias=%d",
+			m.Rows, m.Cols, len(bias)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+}
+
+// GrowMatrix reshapes m to rows x cols, reusing its backing storage when
+// the capacity suffices and reallocating otherwise — the reusable output
+// scratch for the batched kernels. The returned matrix's contents are
+// unspecified (every kernel here overwrites its destination). A nil m
+// allocates fresh.
+func GrowMatrix(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: GrowMatrix negative shape %dx%d", rows, cols))
+	}
+	if m == nil {
+		return NewMatrix(rows, cols)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}

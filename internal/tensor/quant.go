@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized weight storage for the inference path. Two schemes:
+//
+//   - QuantizedMatrix keeps int8 weights with one per-row absmax scale,
+//     a 8x smaller memory footprint whose kernels read the int8 payload
+//     directly (the point is memory bandwidth, so no dequantized shadow
+//     copy is consulted at score time).
+//   - F16Bits/F16FromBits implement IEEE 754 binary16 storage: weights
+//     are rounded to half precision once and computed on in float64, so
+//     the f16 variant trades 4x weight memory for zero kernel changes.
+//
+// Both follow the same determinism rule as the GEMM kernels: the int8
+// matvec and MatMulNTQ accumulate each output element in one scalar over
+// ascending k and apply the row scale once at the end, so serial and
+// batched int8 scoring are bit-identical to each other (and diverge from
+// f32 only by the documented quantization tolerance).
+
+// QuantizedMatrix is a row-major int8 matrix with per-row absmax scales:
+// element (i, j) represents Scales[i] * float64(Data[i*Cols+j]).
+type QuantizedMatrix struct {
+	Rows, Cols int
+	Data       []int8
+	// Scales[i] maps row i's int8 codes back to weight space; rows whose
+	// largest magnitude is zero get scale 0.
+	Scales []float64
+}
+
+// Quantize rounds m to int8 with per-row absmax scaling: each row's
+// largest magnitude maps to ±127 and the row is rounded to the nearest
+// code. The element-wise round-trip error is at most half a code,
+// |m[i][j] - q[i][j]| <= Scales[i]/2.
+func Quantize(m *Matrix) *QuantizedMatrix {
+	q := &QuantizedMatrix{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Data:   make([]int8, len(m.Data)),
+		Scales: make([]float64, m.Rows),
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var absMax float64
+		for _, w := range row {
+			if a := math.Abs(w); a > absMax {
+				absMax = a
+			}
+		}
+		if absMax == 0 {
+			continue
+		}
+		scale := absMax / 127
+		q.Scales[i] = scale
+		for j, w := range row {
+			// Divide rather than multiply by a precomputed reciprocal:
+			// a subnormal scale would overflow the reciprocal to +Inf.
+			c := math.RoundToEven(w / scale)
+			if c > 127 {
+				c = 127
+			} else if c < -127 {
+				c = -127
+			}
+			q.Data[i*m.Cols+j] = int8(c)
+		}
+	}
+	return q
+}
+
+// Dequantize expands q back to float64 storage.
+func (q *QuantizedMatrix) Dequantize() *Matrix {
+	m := NewMatrix(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		scale := q.Scales[i]
+		row := q.Data[i*q.Cols : (i+1)*q.Cols]
+		drow := m.Data[i*q.Cols : (i+1)*q.Cols]
+		for j, c := range row {
+			drow[j] = scale * float64(c)
+		}
+	}
+	return m
+}
+
+// At returns the dequantized element at (i, j).
+func (q *QuantizedMatrix) At(i, j int) float64 {
+	return q.Scales[i] * float64(q.Data[i*q.Cols+j])
+}
+
+// MulVecAdd computes dst += q * x reading the int8 payload directly:
+// each row reduces Σ float64(code)*x[k] over ascending k in one scalar
+// and applies the row scale once.
+func (q *QuantizedMatrix) MulVecAdd(dst, x Vector) {
+	if len(x) != q.Cols || len(dst) != q.Rows {
+		panic(fmt.Sprintf("tensor: quantized MulVecAdd shape mismatch q=%dx%d x=%d dst=%d",
+			q.Rows, q.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < q.Rows; i++ {
+		row := q.Data[i*q.Cols : (i+1)*q.Cols]
+		var s float64
+		for j, c := range row {
+			s += float64(c) * x[j]
+		}
+		dst[i] += q.Scales[i] * s
+	}
+}
+
+// MatMulNTQ computes dst = a * qᵀ, the quantized twin of MatMulNT:
+// dst[i][j] = q.Scales[j] * Σ_k a[i][k]*float64(q[j][k]), accumulated
+// exactly like the serial quantized MulVecAdd so batched and serial int8
+// scoring stay bit-identical.
+func MatMulNTQ(dst, a *Matrix, q *QuantizedMatrix) {
+	if a.Cols != q.Cols || dst.Rows != a.Rows || dst.Cols != q.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNTQ shape mismatch a=%dx%d q=%dx%d dst=%dx%d",
+			a.Rows, a.Cols, q.Rows, q.Cols, dst.Rows, dst.Cols))
+	}
+	k := a.Cols
+	for j0 := 0; j0 < q.Rows; j0 += matMulNTBlockJ {
+		j1 := j0 + matMulNTBlockJ
+		if j1 > q.Rows {
+			j1 = q.Rows
+		}
+		i := 0
+		for ; i+4 <= a.Rows; i += 4 {
+			a0 := a.Data[(i+0)*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k]
+			a2 := a.Data[(i+2)*k : (i+3)*k]
+			a3 := a.Data[(i+3)*k : (i+4)*k]
+			for j := j0; j < j1; j++ {
+				qrow := q.Data[j*k : (j+1)*k]
+				var s0, s1, s2, s3 float64
+				for kk, c := range qrow {
+					cv := float64(c)
+					s0 += a0[kk] * cv
+					s1 += a1[kk] * cv
+					s2 += a2[kk] * cv
+					s3 += a3[kk] * cv
+				}
+				scale := q.Scales[j]
+				dst.Data[(i+0)*dst.Cols+j] = scale * s0
+				dst.Data[(i+1)*dst.Cols+j] = scale * s1
+				dst.Data[(i+2)*dst.Cols+j] = scale * s2
+				dst.Data[(i+3)*dst.Cols+j] = scale * s3
+			}
+		}
+		for ; i < a.Rows; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := j0; j < j1; j++ {
+				qrow := q.Data[j*k : (j+1)*k]
+				var s float64
+				for kk, c := range qrow {
+					s += arow[kk] * float64(c)
+				}
+				drow[j] = q.Scales[j] * s
+			}
+		}
+	}
+}
+
+// F16Bits converts x to IEEE 754 binary16 with round-to-nearest-even.
+// Values beyond the half range saturate to ±65504 (the max finite half)
+// rather than overflowing to infinity, so rounding a finite weight can
+// never poison a dot product; NaN is preserved.
+func F16Bits(x float64) uint16 {
+	b := math.Float32bits(float32(x))
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127
+	mant := b & 0x7fffff
+	switch {
+	case exp == 128: // float32 Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00
+		}
+		return sign | 0x7bff
+	case exp >= -14: // normal half range (rounding may carry and saturate)
+		m := mant >> 13
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			m++
+		}
+		v := uint32(exp+15)<<10 + m
+		if v >= 0x7c00 {
+			return sign | 0x7bff
+		}
+		return sign | uint16(v)
+	case exp >= -25: // subnormal half (may round up into the normal range)
+		m := mant | 0x800000
+		shift := uint32(-exp - 1) // 14..24: mantissa bits shifted out below 2^-24
+		half := uint32(1) << (shift - 1)
+		rem := m & (uint32(1)<<shift - 1)
+		c := m >> shift
+		if rem > half || (rem == half && c&1 == 1) {
+			c++
+		}
+		return sign | uint16(c)
+	default:
+		return sign
+	}
+}
+
+// F16FromBits expands an IEEE 754 binary16 bit pattern to float64; the
+// conversion is exact (every half value is representable in float64).
+func F16FromBits(h uint16) float64 {
+	exp := int(h >> 10 & 0x1f)
+	mant := int(h & 0x3ff)
+	var v float64
+	switch {
+	case exp == 0:
+		v = float64(mant) * 0x1p-24
+	case exp == 31:
+		if mant != 0 {
+			return math.NaN()
+		}
+		v = math.Inf(1)
+	default:
+		v = math.Ldexp(float64(mant|0x400), exp-25)
+	}
+	if h&0x8000 != 0 {
+		return -v
+	}
+	return v
+}
+
+// RoundF16 rounds x through half precision and back: the storage
+// quantization applied to f16-mode weights (which are then computed on
+// in float64, keeping every kernel untouched).
+func RoundF16(x float64) float64 { return F16FromBits(F16Bits(x)) }
+
+// RoundMatrixF16 rounds every element of m through half precision in
+// place.
+func RoundMatrixF16(m *Matrix) {
+	for i, w := range m.Data {
+		m.Data[i] = RoundF16(w)
+	}
+}

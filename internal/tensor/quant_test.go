@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeRoundTripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(40)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = math.Ldexp(rng.Float64()*2-1, rng.Intn(12)-6)
+		}
+		checkQuantizeRoundTrip(t, m)
+	}
+}
+
+func TestQuantizeZeroRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Data = []float64{0, 0, 0, 1, -2, 0.5}
+	q := Quantize(m)
+	if q.Scales[0] != 0 {
+		t.Fatalf("zero row got scale %v", q.Scales[0])
+	}
+	d := q.Dequantize()
+	for j := 0; j < 3; j++ {
+		if d.At(0, j) != 0 {
+			t.Fatalf("zero row dequantized to %v at col %d", d.At(0, j), j)
+		}
+	}
+}
+
+// checkQuantizeRoundTrip asserts the per-row absmax contract: every
+// dequantized element is within half a code of the original
+// (|x - deq| <= scale/2 with scale = absmax/127), the row absmax maps to
+// exactly ±127 codes worth, and At agrees with Dequantize.
+func checkQuantizeRoundTrip(t *testing.T, m *Matrix) {
+	t.Helper()
+	q := Quantize(m)
+	d := q.Dequantize()
+	for i := 0; i < m.Rows; i++ {
+		var absMax float64
+		for j := 0; j < m.Cols; j++ {
+			if a := math.Abs(m.At(i, j)); a > absMax {
+				absMax = a
+			}
+		}
+		scale := absMax / 127
+		if q.Scales[i] != scale {
+			t.Fatalf("row %d scale %v, want absmax/127 = %v", i, q.Scales[i], scale)
+		}
+		for j := 0; j < m.Cols; j++ {
+			x, deq := m.At(i, j), d.At(i, j)
+			if deq != q.At(i, j) {
+				t.Fatalf("row %d col %d: Dequantize %v != At %v", i, j, deq, q.At(i, j))
+			}
+			// Half-a-code bound with a one-ulp slack for the scale division.
+			if diff := math.Abs(x - deq); diff > scale/2*(1+1e-12) {
+				t.Fatalf("row %d col %d: |%v - %v| = %v exceeds scale/2 = %v",
+					i, j, x, deq, diff, scale/2)
+			}
+		}
+	}
+}
+
+// FuzzQuantizeRoundTrip feeds raw float64 bit patterns through both
+// quantization schemes and asserts their documented round-trip bounds:
+// int8 per-row absmax stays within half a code, f16 storage stays within
+// the half-precision relative/absolute error envelope.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add(uint64(0x3ff0000000000000), uint64(0xbfe0000000000000), uint64(0x3f50624dd2f1a9fc))
+	f.Add(uint64(0), uint64(0x8000000000000000), uint64(0x40efffc000000000))
+	f.Add(uint64(0x40f0000000000000), uint64(0x3e70000000000000), uint64(0x0000000000000001))
+	f.Fuzz(func(t *testing.T, b0, b1, b2 uint64) {
+		vals := [3]float64{math.Float64frombits(b0), math.Float64frombits(b1), math.Float64frombits(b2)}
+		finite := true
+		for _, v := range vals {
+			checkF16RoundTrip(t, v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+			}
+		}
+		if !finite {
+			return
+		}
+		m := NewMatrix(1, len(vals))
+		copy(m.Data, vals[:])
+		checkQuantizeRoundTrip(t, m)
+	})
+}
