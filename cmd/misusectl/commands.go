@@ -424,9 +424,22 @@ func cmdStatus(args []string) error {
 	fmt.Printf("  events submitted: %d\n", st.EventsSubmitted)
 	fmt.Printf("  events processed: %d\n", st.EventsProcessed)
 	fmt.Printf("  events in flight: %d\n", st.EventsInFlight)
-	fmt.Printf("  sessions live:    %d\n", st.SessionsLive)
+	fmt.Printf("  sessions live:    %d (%d compacted)\n", st.SessionsLive, st.SessionsCompacted)
+	fmt.Printf("  session memory:   %s", core.FormatByteSize(st.MemBytes))
+	if st.MemBudget > 0 {
+		fmt.Printf(" of %s budget", core.FormatByteSize(st.MemBudget))
+	}
+	if st.MaxSessions > 0 {
+		fmt.Printf(" (cap %d sessions)", st.MaxSessions)
+	}
+	fmt.Println()
+	fmt.Printf("  compactions:      %d (%d rehydrations)\n", st.Compactions, st.Rehydrations)
 	fmt.Printf("  alarms raised:    %d\n", st.AlarmsRaised)
 	fmt.Printf("  evictions:        %d\n", st.Evictions)
+	if st.ShedSessions+st.ShedEvents+st.ShedEvictions+st.AlarmsShed > 0 {
+		fmt.Printf("  shed:             %d sessions refused (%d events), %d budget evictions, %d alarms dropped\n",
+			st.ShedSessions, st.ShedEvents, st.ShedEvictions, st.AlarmsShed)
+	}
 	fmt.Printf("  score errors:     %d\n", st.ScoreErrors)
 	return nil
 }

@@ -233,6 +233,11 @@ func cmdBench(args []string) error {
 	lstmBatch := fs.String("lstm-batch", "1,64", "comma-separated engine ScoreBatch values for -lstm (1 is the serial reference)")
 	quant := fs.String("quant", "f64,int8,f16", "comma-separated weight precisions for -lstm: f64, int8, f16")
 	minLSTMSpeedup := fs.Float64("min-lstm-speedup", 0, "with -lstm: exit nonzero when the f64 batch speedup falls below this multiple (CI gate; needs quant f64 and ScoreBatch 1 plus a larger value)")
+	soakMode := fs.Bool("soak", false, "run the memory soak (fill N sessions, compact, touch, flush) instead of the ingest sweep; -json emits the BENCH_soak.json format")
+	soakSessions := fs.Int("soak-sessions", 50000, "with -soak: distinct sessions held resident (the local acceptance run uses 1000000)")
+	soakActions := fs.Int("soak-actions", 8, "with -soak: actions submitted per session")
+	soakCeiling := fs.String("soak-ceiling", "", "with -soak: heap ceiling as a byte size (e.g. 512m, 2g); doubles as the engine MemBudget, and the run fails if the settled live heap exceeds it or anything was shed below it (CI gate)")
+	maxSoakP99 := fs.Duration("max-soak-p99", 0, "with -soak: exit nonzero when the fill's p99 per-batch ingest latency exceeds this (CI gate)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after a forced GC) to this file when the bench finishes")
 	if err := fs.Parse(args); err != nil {
@@ -320,6 +325,60 @@ func cmdBench(args []string) error {
 			}
 			if gated == 0 {
 				return fmt.Errorf("bench: -min-lstm-speedup needs quant f64 and -lstm-batch with 1 and a larger value in the same run")
+			}
+		}
+		return nil
+	}
+
+	if *soakMode {
+		if *addr != "" || *wireOnly {
+			return fmt.Errorf("bench: -soak is in-process only (drop -addr / -wire-only)")
+		}
+		var ceiling int64
+		if *soakCeiling != "" {
+			if ceiling, err = core.ParseByteSize(*soakCeiling); err != nil {
+				return fmt.Errorf("bench: -soak-ceiling: %w", err)
+			}
+		}
+		report, err := harness.BenchSoak(tr, harness.SoakOptions{
+			Sessions:   *soakSessions,
+			Actions:    *soakActions,
+			Shards:     shardCounts[0],
+			QueueDepth: *queue,
+			Hidden:     *hidden,
+			Epochs:     *epochs,
+			Seed:       *seed,
+			MemBudget:  ceiling,
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				return err
+			}
+		} else {
+			renderSoakReport(report)
+		}
+		if ceiling > 0 {
+			if report.HeapLiveBytes > uint64(ceiling) {
+				return fmt.Errorf("bench: soak live heap %s exceeds the -soak-ceiling %s",
+					core.FormatByteSize(int64(report.HeapLiveBytes)), core.FormatByteSize(ceiling))
+			}
+			// Below the ceiling the engine must never have refused or
+			// evicted anything: a shed under headroom is an accounting or
+			// policy bug, not load.
+			if shed := report.ShedSessions + report.ShedEvents + report.ShedEvictions + report.AlarmsShed; shed > 0 {
+				return fmt.Errorf("bench: soak shed %d (sessions %d, events %d, evictions %d, alarms %d) below the -soak-ceiling %s",
+					shed, report.ShedSessions, report.ShedEvents, report.ShedEvictions, report.AlarmsShed, core.FormatByteSize(ceiling))
+			}
+		}
+		if *maxSoakP99 > 0 {
+			p99 := time.Duration(report.Ingest.P99 * float64(time.Microsecond))
+			if p99 > *maxSoakP99 {
+				return fmt.Errorf("bench: soak p99 ingest latency %s above the -max-soak-p99 gate %s", p99, *maxSoakP99)
 			}
 		}
 		return nil
@@ -428,6 +487,28 @@ func renderLSTMBenchReport(r *harness.LSTMBenchReport) {
 	for _, key := range sortedKeys(r.QuantThroughput) {
 		fmt.Printf("quant throughput %s vs f64: %.2fx\n", key, r.QuantThroughput[key])
 	}
+}
+
+func renderSoakReport(r *harness.SoakReport) {
+	fmt.Printf("memory soak: %d sessions x %d actions, backend %s hidden %d, %d shards, %s %s/%s, %d cpus\n",
+		r.Sessions, r.ActionsPerSession, r.Backend, r.Hidden, r.Shards, r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Printf("  fill:            %d events in %.1fs (%.0f events/sec), ingest p50/p99 %.1f/%.1f us per batch\n",
+		r.Events, r.FillSeconds, r.FillEventsPerSec, r.Ingest.P50, r.Ingest.P99)
+	fmt.Printf("  resident:        %d sessions (%d compacted, %d compactions)\n",
+		r.SessionsResident, r.SessionsCompacted, r.Compactions)
+	fmt.Printf("  heap:            %s baseline -> %s live (%.0f B/session settled)\n",
+		core.FormatByteSize(int64(r.HeapBaselineBytes)), core.FormatByteSize(int64(r.HeapLiveBytes)), r.HeapPerSessionBytes)
+	fmt.Printf("  accounted:       %s engine gauge", core.FormatByteSize(r.MemAccountedBytes))
+	if r.MemBudgetBytes > 0 {
+		fmt.Printf(" (budget %s)", core.FormatByteSize(r.MemBudgetBytes))
+	}
+	fmt.Println()
+	fmt.Printf("  touch:           %d sessions, %d rehydrations, p50/p99 %.1f/%.1f us\n",
+		r.TouchSessions, r.TouchRehydrations, r.Touch.P50, r.Touch.P99)
+	fmt.Printf("  shed:            %d sessions, %d events, %d budget evictions, %d alarms\n",
+		r.ShedSessions, r.ShedEvents, r.ShedEvictions, r.AlarmsShed)
+	fmt.Printf("  flush:           %d sessions ended in %.1fs (%.0f evictions/sec), %d alarms raised\n",
+		r.SessionsResident, r.FlushSeconds, r.EvictionsPerSec, r.Alarms)
 }
 
 func renderBenchHeader() {

@@ -16,6 +16,14 @@
 // Usage:
 //
 //	misused -model ./model [-listen :7074] [-idle 30m] [-shards 4] [-queue 256] [-monitor thresholds.json]
+//	        [-compact-after 5m] [-max-sessions N] [-mem-budget 2g] [-alarm-timeout 50ms]
+//
+// Memory plane: sessions idle past -compact-after collapse into small
+// snapshots (LSTM hidden state + monitor scalars) and rehydrate
+// transparently — with byte-identical scores — on their next event;
+// -max-sessions and -mem-budget bound the resident set, shedding by
+// refusing new sessions first and then evicting the oldest-idle ones
+// (see OPERATIONS.md for sizing and the shed counters in status).
 //
 // Scoring runs on a sharded concurrent engine (see internal/core.Engine
 // and ARCHITECTURE.md): session IDs are hashed onto -shards independent
@@ -91,6 +99,10 @@ func main() {
 	shards := fs.Int("shards", 0, "scoring engine shard count (0 = default)")
 	queue := fs.Int("queue", 0, "per-shard event queue depth (0 = default)")
 	monitorPath := fs.String("monitor", "", "calibrated monitor-threshold fragment (JSON, from misusectl eval -thresholds); empty uses defaults")
+	compactAfter := fs.Duration("compact-after", 5*time.Minute, "compact sessions idle this long into small snapshots (0 disables compaction)")
+	maxSessions := fs.Int("max-sessions", 0, "resident session cap; events for new sessions past it are shed (0 = uncapped)")
+	memBudget := fs.String("mem-budget", "", "session memory budget as a byte size (e.g. 512m, 2g); past it new sessions are refused and oldest-idle sessions evicted (empty = unbounded)")
+	alarmTimeout := fs.Duration("alarm-timeout", 0, "bound on waiting for a slow alarm consumer before dropping the alarm (0 = lossless blocking send)")
 	adapt := fs.Bool("adapt", false, "enable the online drift-detection and retrain/hot-swap pipeline")
 	adaptRoot := fs.String("adapt-root", "", "directory receiving one versioned model dir per adapted generation (empty = keep generations in memory only)")
 	adaptMinSessions := fs.Int("adapt-min-sessions", 60, "alarm-free sessions buffered before a retrain cycle may run")
@@ -103,22 +115,34 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	var budget int64
+	if *memBudget != "" {
+		var err error
+		if budget, err = core.ParseByteSize(*memBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "misused: -mem-budget:", err)
+			os.Exit(2)
+		}
+	}
 	cfg := daemonConfig{
-		modelDir:    *modelDir,
-		listen:      *listen,
-		monitorPath: *monitorPath,
-		idle:        *idle,
-		shards:      *shards,
-		queue:       *queue,
-		adapt:       *adapt,
-		adaptRoot:   *adaptRoot,
-		minSessions: *adaptMinSessions,
-		window:      *adaptWindow,
-		sensitivity: *adaptSensitivity,
-		guardrail:   *adaptGuardrail,
-		fpr:         *adaptFPR,
-		canaryFrac:  *canaryFrac,
-		canaryMin:   *canaryMin,
+		modelDir:     *modelDir,
+		listen:       *listen,
+		monitorPath:  *monitorPath,
+		idle:         *idle,
+		compactAfter: *compactAfter,
+		maxSessions:  *maxSessions,
+		memBudget:    budget,
+		alarmTimeout: *alarmTimeout,
+		shards:       *shards,
+		queue:        *queue,
+		adapt:        *adapt,
+		adaptRoot:    *adaptRoot,
+		minSessions:  *adaptMinSessions,
+		window:       *adaptWindow,
+		sensitivity:  *adaptSensitivity,
+		guardrail:    *adaptGuardrail,
+		fpr:          *adaptFPR,
+		canaryFrac:   *canaryFrac,
+		canaryMin:    *canaryMin,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "misused:", err)
@@ -130,6 +154,9 @@ func main() {
 type daemonConfig struct {
 	modelDir, listen, monitorPath string
 	idle                          time.Duration
+	compactAfter, alarmTimeout    time.Duration
+	maxSessions                   int
+	memBudget                     int64
 	shards, queue                 int
 	adapt                         bool
 	adaptRoot                     string
@@ -169,14 +196,18 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	scfg := ServerConfig{
-		Listen:     cfg.listen,
-		ModelDir:   cfg.modelDir,
-		IdleExpiry: cfg.idle,
-		Shards:     cfg.shards,
-		QueueDepth: cfg.queue,
-		Monitor:    monitor,
-		Registry:   reg,
-		Logf:       logf,
+		Listen:           cfg.listen,
+		ModelDir:         cfg.modelDir,
+		IdleExpiry:       cfg.idle,
+		CompactAfter:     cfg.compactAfter,
+		MaxSessions:      cfg.maxSessions,
+		MemBudget:        cfg.memBudget,
+		AlarmSendTimeout: cfg.alarmTimeout,
+		Shards:           cfg.shards,
+		QueueDepth:       cfg.queue,
+		Monitor:          monitor,
+		Registry:         reg,
+		Logf:             logf,
 	}
 	var canary *rollout.Controller
 	if cfg.canaryFrac > 0 {

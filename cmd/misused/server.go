@@ -25,6 +25,20 @@ type ServerConfig struct {
 	// IdleExpiry evicts session monitors that have not seen an event
 	// for this long.
 	IdleExpiry time.Duration
+	// CompactAfter collapses sessions idle this long into small
+	// snapshots (0 disables compaction); see core.EngineConfig.
+	CompactAfter time.Duration
+	// MaxSessions caps resident sessions; 0 = uncapped. Events for new
+	// sessions past the cap are shed and counted.
+	MaxSessions int
+	// MemBudget bounds the engine's accounted session memory in bytes;
+	// 0 = unbounded. Past it, new sessions are refused and the
+	// oldest-idle resident sessions are evicted.
+	MemBudget int64
+	// AlarmSendTimeout bounds how long a scoring shard waits on a slow
+	// alarm consumer before dropping the alarm (counted in AlarmsShed);
+	// 0 keeps the lossless blocking send.
+	AlarmSendTimeout time.Duration
 	// Shards is the scoring-engine shard count (0 = engine default).
 	Shards int
 	// QueueDepth is the per-shard event buffer (0 = engine default).
@@ -277,13 +291,17 @@ func NewServer(det *core.Detector, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("misused: IdleExpiry must be positive, got %v", cfg.IdleExpiry)
 	}
 	ecfg := core.EngineConfig{
-		Shards:         cfg.Shards,
-		QueueDepth:     cfg.QueueDepth,
-		IdleExpiry:     cfg.IdleExpiry,
-		Monitor:        cfg.Monitor,
-		OnSessionEnd:   cfg.OnSessionEnd,
-		RecordSessions: cfg.RecordSessions,
-		Logf:           cfg.Logf,
+		Shards:           cfg.Shards,
+		QueueDepth:       cfg.QueueDepth,
+		IdleExpiry:       cfg.IdleExpiry,
+		CompactAfter:     cfg.CompactAfter,
+		MaxSessions:      cfg.MaxSessions,
+		MemBudget:        cfg.MemBudget,
+		AlarmSendTimeout: cfg.AlarmSendTimeout,
+		Monitor:          cfg.Monitor,
+		OnSessionEnd:     cfg.OnSessionEnd,
+		RecordSessions:   cfg.RecordSessions,
+		Logf:             cfg.Logf,
 	}
 	var engine *core.Engine
 	var err error

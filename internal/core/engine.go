@@ -45,6 +45,35 @@ type EngineConfig struct {
 	// IdleExpiry evicts sessions that have not seen an event for this
 	// long; 0 disables eviction (replay and tests).
 	IdleExpiry time.Duration
+	// CompactAfter collapses sessions that have not seen an event for
+	// this long into compact snapshots (LSTM hidden/cell state plus the
+	// monitor scalars — no scratch, no featurizer, no lazy per-cluster
+	// streams), transparently rehydrated on their next event with
+	// byte-identical scores. 0 disables background compaction;
+	// Engine.Compact compacts on demand regardless. Only sessions past
+	// the routing-vote freeze are eligible — younger ones stay live
+	// until they either freeze or hit IdleExpiry.
+	CompactAfter time.Duration
+	// MaxSessions caps resident sessions (live + compacted) across all
+	// shards. At the cap, events of new sessions are shed (dropped and
+	// counted in ShedSessions/ShedEvents) rather than admitted — the
+	// first stage of the shed policy: refuse new work before touching
+	// existing sessions. 0 means uncapped.
+	MaxSessions int
+	// MemBudget bounds the engine's accounted session memory in bytes
+	// (the MemBytes gauge: monitors, streams, snapshots, recorded
+	// tokens). Over budget, new sessions are refused (as with
+	// MaxSessions) and the sweep additionally evicts oldest-idle
+	// sessions — with summaries, counted in ShedEvictions — until the
+	// gauge is back under budget. 0 means unbounded.
+	MemBudget int64
+	// AlarmSendTimeout bounds how long a shard blocks delivering one
+	// alarm to a streaming sink; past it the alarm is dropped and
+	// counted in AlarmsShed, so one stalled consumer degrades to lost
+	// alarms instead of wedging the shard (and, through the bounded
+	// queues, every producer behind it). 0 keeps the default blocking
+	// semantics.
+	AlarmSendTimeout time.Duration
 	// ScoreBatch caps how many session streams one shard advances in a
 	// single fused scorer.AdvanceBatch call when it flushes a staged wave
 	// of events. Each shard drains a burst of its queue, stages every
@@ -187,10 +216,42 @@ func (c *EngineConfig) validate() error {
 	if c.IdleExpiry < 0 {
 		return fmt.Errorf("core: engine IdleExpiry must be >= 0, got %v", c.IdleExpiry)
 	}
+	if c.CompactAfter < 0 {
+		return fmt.Errorf("core: engine CompactAfter must be >= 0, got %v", c.CompactAfter)
+	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("core: engine MaxSessions must be >= 0, got %d", c.MaxSessions)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("core: engine MemBudget must be >= 0, got %d", c.MemBudget)
+	}
+	if c.AlarmSendTimeout < 0 {
+		return fmt.Errorf("core: engine AlarmSendTimeout must be >= 0, got %v", c.AlarmSendTimeout)
+	}
 	if c.ScoreBatch < 1 {
 		return fmt.Errorf("core: engine ScoreBatch must be >= 1, got %d", c.ScoreBatch)
 	}
 	return c.Monitor.validate()
+}
+
+// sweepInterval derives the shard maintenance-tick period: half the
+// tightest quiet-period setting (so a session is swept at most 1.5x its
+// deadline late), a slow fallback when only a memory budget is set, and
+// 0 — no ticker at all — when no background maintenance is configured.
+func (c *EngineConfig) sweepInterval() time.Duration {
+	var iv time.Duration
+	for _, d := range [...]time.Duration{c.IdleExpiry, c.CompactAfter} {
+		if d > 0 && (iv == 0 || d < iv) {
+			iv = d
+		}
+	}
+	if iv > 0 {
+		return iv / 2
+	}
+	if c.MemBudget > 0 {
+		return 5 * time.Second
+	}
+	return 0
 }
 
 // EngineStats is a point-in-time snapshot of the engine counters.
@@ -211,9 +272,34 @@ type EngineStats struct {
 	InternedActions int    `json:"interned_actions"`
 	LearnedActions  int    `json:"learned_actions"`
 	SessionsLive    uint64 `json:"sessions_live"`
-	AlarmsRaised    uint64 `json:"alarms_raised"`
-	Evictions       uint64 `json:"evictions"`
-	ScoreErrors     uint64 `json:"score_errors"`
+	// SessionsCompacted is how many of the resident sessions are
+	// currently dormant snapshots rather than live monitors;
+	// Compactions and Rehydrations are the cumulative transition counts
+	// (a session may cycle through both many times).
+	SessionsCompacted uint64 `json:"sessions_compacted"`
+	Compactions       uint64 `json:"compactions"`
+	Rehydrations      uint64 `json:"rehydrations"`
+	// MemBytes is the engine's accounted session memory: the sum of
+	// every resident session's estimated footprint (monitor or
+	// snapshot, streams, recorded tokens). MemBudget and MaxSessions
+	// echo the configured limits when set.
+	MemBytes     int64  `json:"mem_bytes"`
+	MemBudget    int64  `json:"mem_budget,omitempty"`
+	MaxSessions  int    `json:"max_sessions,omitempty"`
+	AlarmsRaised uint64 `json:"alarms_raised"`
+	Evictions    uint64 `json:"evictions"`
+	ScoreErrors  uint64 `json:"score_errors"`
+	// Shed counters, the observable face of the load-shedding policy:
+	// ShedSessions counts refused session admissions (new sessions
+	// arriving at the MaxSessions cap or over the memory budget),
+	// ShedEvents the events dropped by those refusals, ShedEvictions
+	// the oldest-idle sessions evicted to get back under MemBudget, and
+	// AlarmsShed the alarms dropped after AlarmSendTimeout on a stalled
+	// sink. All zero on a healthy, in-budget engine.
+	ShedSessions  uint64 `json:"shed_sessions"`
+	ShedEvents    uint64 `json:"shed_events"`
+	ShedEvictions uint64 `json:"shed_evictions"`
+	AlarmsShed    uint64 `json:"alarms_shed"`
 	// Canary arm, present while a staged rollout is pending:
 	// CanaryVersion/CanaryFraction describe the candidate generation and
 	// its traffic slice; CanarySessions/CanaryAlarms count sessions ever
@@ -288,14 +374,20 @@ func releaseBatch(b *eventBatch) {
 
 // shardMsg is one unit of shard work: a single event, a batch of events,
 // or a control message — detach non-nil asks the shard to forget a sink,
-// flush asks it to evict every live session now.
+// flush asks it to evict every live session now, compact asks it to
+// collapse every eligible idle session, and examined non-nil asks it to
+// run one maintenance sweep as of sweepAt and report how many sessions
+// it examined (the amortization probe used by tests).
 type shardMsg struct {
-	ev     tokEvent
-	sink   chan<- Alarm
-	batch  *eventBatch
-	detach chan<- Alarm
-	flush  bool
-	ack    chan<- struct{}
+	ev       tokEvent
+	sink     chan<- Alarm
+	batch    *eventBatch
+	detach   chan<- Alarm
+	flush    bool
+	compact  bool
+	sweepAt  time.Time
+	examined chan<- int
+	ack      chan<- struct{}
 }
 
 // remapTable translates interner tokens into one model generation's
@@ -341,9 +433,23 @@ func (rt *remapTable) extend(snap *actionlog.InternSnapshot) {
 // current when the session started; version records it for alarm
 // stamping. A model reload never touches existing sessions.
 type engineSession struct {
-	mon     *SessionMonitor
-	remap   *remapTable
+	// Exactly one of mon and snap is non-nil: mon while the session is
+	// live, snap while it is compacted to its dormant snapshot.
+	mon   *SessionMonitor
+	snap  *SessionSnapshot
+	remap *remapTable
+	// id duplicates the session-map key so the intrusive lists below can
+	// evict without a reverse lookup.
+	id      string
 	version uint64
+	// prev/next link the session into its shard's lastSeen-ordered
+	// intrusive list (live or cold, depending on snap), so maintenance
+	// sweeps touch only the sessions they act on instead of scanning
+	// the whole shard map.
+	prev, next *engineSession
+	// mem is the session's last accounted footprint in bytes, mirrored
+	// into the shard gauge; resize keeps the two in step.
+	mem int64
 	// canary marks a session Assign pinned to the pending candidate
 	// generation; its alarms feed the per-arm counters and its summary
 	// carries the flag for the rollout comparator.
@@ -361,6 +467,53 @@ type engineSession struct {
 	// observations in flight (session order is the one ordering the
 	// engine guarantees).
 	waveMark uint64
+}
+
+// sessList is an intrusive doubly-linked session list ordered by
+// lastSeen (head = oldest, tail = most recently seen). Each shard keeps
+// two — live monitors and cold snapshots — so idle eviction, compaction,
+// and budget shedding all pop from a head in O(1) per session acted on,
+// instead of the O(sessions) full-map scan the seed engine paid per
+// tick. Only the owning shard goroutine touches a list.
+type sessList struct {
+	head, tail *engineSession
+}
+
+// pushTail appends a session (which must not be on any list).
+func (l *sessList) pushTail(sess *engineSession) {
+	sess.prev = l.tail
+	sess.next = nil
+	if l.tail != nil {
+		l.tail.next = sess
+	} else {
+		l.head = sess
+	}
+	l.tail = sess
+}
+
+// remove unlinks a session from the list.
+func (l *sessList) remove(sess *engineSession) {
+	if sess.prev != nil {
+		sess.prev.next = sess.next
+	} else {
+		l.head = sess.next
+	}
+	if sess.next != nil {
+		sess.next.prev = sess.prev
+	} else {
+		l.tail = sess.prev
+	}
+	sess.prev, sess.next = nil, nil
+}
+
+// moveTail re-appends a just-touched session, keeping the list ordered
+// by lastSeen.
+func (l *sessList) moveTail(sess *engineSession) {
+	if l.tail == sess {
+		return
+	}
+	l.remove(sess)
+	l.pushTail(sess)
 }
 
 // stagedEvent is one event of a shard's current wave: staged (session
@@ -393,6 +546,15 @@ type engineShard struct {
 	e        *Engine
 	in       chan shardMsg
 	sessions map[string]*engineSession
+	// live and cold order the shard's sessions by lastSeen: live holds
+	// sessions with a full monitor, cold the compacted snapshots.
+	// Maintenance sweeps pop from the heads (oldest first), so their
+	// cost scales with the work done, not the session count.
+	live, cold sessList
+	// mem is the shard's accounted session memory in bytes. Written
+	// only by the shard goroutine, read by Stats and admission checks
+	// from other goroutines — hence atomic.
+	mem atomic.Int64
 	// remaps caches one token→index table per model-generation
 	// vocabulary (shard-local, so no locking).
 	remaps map[*actionlog.Vocabulary]*remapTable
@@ -445,9 +607,16 @@ type Engine struct {
 	processed     atomic.Uint64
 	batches       atomic.Uint64
 	sessions      atomic.Int64
+	compacted     atomic.Int64
+	compactions   atomic.Uint64
+	rehydrations  atomic.Uint64
 	alarms        atomic.Uint64
 	evictions     atomic.Uint64
 	scoreErrors   atomic.Uint64
+	shedSessions  atomic.Uint64
+	shedEvents    atomic.Uint64
+	shedEvictions atomic.Uint64
+	alarmsShed    atomic.Uint64
 	canaryStarted atomic.Uint64
 	canaryAlarmed atomic.Uint64
 
@@ -519,6 +688,30 @@ func (e *Engine) Interner() *actionlog.Interner { return e.interner }
 // the installed generation.
 func (e *Engine) Reload(det *Detector, source string) (*ModelVersion, error) {
 	return e.reg.Swap(det, source)
+}
+
+// MemBytes returns the engine's accounted session memory: the summed
+// per-shard gauges of every resident session's estimated footprint.
+func (e *Engine) MemBytes() int64 {
+	var total int64
+	for _, sh := range e.shards {
+		total += sh.mem.Load()
+	}
+	return total
+}
+
+// admissionBlocked reports whether a NEW session must be refused right
+// now: the engine is at its session cap or over its memory budget.
+// Existing sessions keep scoring — the shed policy refuses new work
+// first and only then (via the sweep) evicts oldest-idle sessions.
+func (e *Engine) admissionBlocked() bool {
+	if e.cfg.MaxSessions > 0 && e.sessions.Load() >= int64(e.cfg.MaxSessions) {
+		return true
+	}
+	if e.cfg.MemBudget > 0 && e.MemBytes() >= e.cfg.MemBudget {
+		return true
+	}
+	return false
 }
 
 // shardIndex hashes a session ID onto its owning shard: inline FNV-1a so
@@ -730,6 +923,51 @@ func (e *Engine) Flush() {
 	}
 }
 
+// Compact collapses every eligible idle session on every shard into its
+// dormant snapshot now, without waiting for CompactAfter, and blocks
+// until all shards have done so. Sessions still inside their routing
+// vote (and backends without compaction support) stay live. Because
+// shards consume FIFO, every event submitted before the Compact is
+// scored first; the soak bench uses this to measure resting memory
+// deterministically.
+func (e *Engine) Compact() {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.wg.Wait()
+		return
+	}
+	ack := make(chan struct{}, len(e.shards))
+	for _, sh := range e.shards {
+		sh.in <- shardMsg{compact: true, ack: ack}
+	}
+	e.mu.RUnlock()
+	for range e.shards {
+		<-ack
+	}
+}
+
+// sweepNow runs one maintenance sweep on every shard as of now and
+// returns the total number of sessions the sweeps examined — the
+// amortization probe the eviction tests pin against.
+func (e *Engine) sweepNow(now time.Time) int {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return 0
+	}
+	out := make(chan int, len(e.shards))
+	for _, sh := range e.shards {
+		sh.in <- shardMsg{sweepAt: now, examined: out}
+	}
+	e.mu.RUnlock()
+	total := 0
+	for range e.shards {
+		total += <-out
+	}
+	return total
+}
+
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats {
 	// Read processed before submitted: processed never exceeds submitted
@@ -744,6 +982,10 @@ func (e *Engine) Stats() EngineStats {
 	if live < 0 {
 		live = 0
 	}
+	compacted := e.compacted.Load()
+	if compacted < 0 {
+		compacted = 0
+	}
 	mv := e.reg.Current()
 	snap := e.interner.Snapshot()
 	st := EngineStats{
@@ -752,19 +994,29 @@ func (e *Engine) Stats() EngineStats {
 		ModelVersion: mv.Version,
 		// Derived from the version so swaps through Registry() directly
 		// (not just Engine.Reload) are counted too.
-		Reloads:          mv.Version - 1,
-		EventsSubmitted:  submitted,
-		EventsProcessed:  processed,
-		EventsInFlight:   submitted - processed,
-		BatchesSubmitted: e.batches.Load(),
-		InternedActions:  snap.Len(),
-		LearnedActions:   snap.Len() - snap.Base(),
-		SessionsLive:     uint64(live),
-		AlarmsRaised:     e.alarms.Load(),
-		Evictions:        e.evictions.Load(),
-		ScoreErrors:      e.scoreErrors.Load(),
-		CanarySessions:   e.canaryStarted.Load(),
-		CanaryAlarms:     e.canaryAlarmed.Load(),
+		Reloads:           mv.Version - 1,
+		EventsSubmitted:   submitted,
+		EventsProcessed:   processed,
+		EventsInFlight:    submitted - processed,
+		BatchesSubmitted:  e.batches.Load(),
+		InternedActions:   snap.Len(),
+		LearnedActions:    snap.Len() - snap.Base(),
+		SessionsLive:      uint64(live),
+		SessionsCompacted: uint64(compacted),
+		Compactions:       e.compactions.Load(),
+		Rehydrations:      e.rehydrations.Load(),
+		MemBytes:          e.MemBytes(),
+		MemBudget:         e.cfg.MemBudget,
+		MaxSessions:       e.cfg.MaxSessions,
+		AlarmsRaised:      e.alarms.Load(),
+		Evictions:         e.evictions.Load(),
+		ScoreErrors:       e.scoreErrors.Load(),
+		ShedSessions:      e.shedSessions.Load(),
+		ShedEvents:        e.shedEvents.Load(),
+		ShedEvictions:     e.shedEvictions.Load(),
+		AlarmsShed:        e.alarmsShed.Load(),
+		CanarySessions:    e.canaryStarted.Load(),
+		CanaryAlarms:      e.canaryAlarmed.Load(),
 	}
 	if cmv, frac := e.reg.Canary(); cmv != nil {
 		st.CanaryVersion = cmv.Version
@@ -847,17 +1099,19 @@ const drainBurst = 64
 
 // run is the shard loop: stage queued events into waves (draining bursts
 // of the queue per wakeup), flush each wave with fused batched scoring
-// before going back to sleep, evict idle sessions. The wave is ALWAYS
-// flushed before the loop re-enters the outer select: a staged event has
-// not been counted processed yet, so leaving one parked would wedge
-// Drain (and with it DrainAlarms, Replay, and every caller that waits
-// for the queues to empty).
+// before going back to sleep, and run the maintenance sweep (idle
+// eviction, compaction, budget shedding) on the ticker. The wave is
+// ALWAYS flushed before the loop re-enters the outer select: a staged
+// event has not been counted processed yet, so leaving one parked would
+// wedge Drain (and with it DrainAlarms, Replay, and every caller that
+// waits for the queues to empty) — and it also means the sweep never
+// sees a session with an observation in flight.
 func (s *engineShard) run() {
 	defer s.e.wg.Done()
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if s.e.cfg.IdleExpiry > 0 {
-		ticker = time.NewTicker(s.e.cfg.IdleExpiry / 2)
+	if iv := s.e.cfg.sweepInterval(); iv > 0 {
+		ticker = time.NewTicker(iv)
 		tick = ticker.C
 		defer ticker.Stop()
 	}
@@ -889,7 +1143,7 @@ func (s *engineShard) run() {
 			}
 			s.flushWave()
 		case <-tick:
-			s.evictIdle(time.Now())
+			s.sweep(time.Now())
 		}
 	}
 }
@@ -913,6 +1167,13 @@ func (s *engineShard) dispatch(msg shardMsg) {
 		s.flushWave()
 		s.evictAll()
 		msg.ack <- struct{}{}
+	case msg.compact:
+		s.flushWave()
+		s.compactAll()
+		msg.ack <- struct{}{}
+	case msg.examined != nil:
+		s.flushWave()
+		msg.examined <- s.sweep(msg.sweepAt)
 	case msg.batch != nil:
 		now := time.Now()
 		for i := range msg.batch.evs {
@@ -982,7 +1243,20 @@ func (s *engineShard) stageEvent(ev *tokEvent, sink chan<- Alarm, now time.Time)
 		// event's alarms going to the sink of its own submission.
 		s.flushWave()
 	}
+	grew := false
 	if !ok {
+		if s.e.admissionBlocked() {
+			// Load shedding, stage one: at the session cap or over the
+			// memory budget, events of sessions the engine does not
+			// already know are refused — dropped and counted, never
+			// queued — so resident sessions keep scoring at full speed.
+			// The event still counts processed: a shed event is finished
+			// work as far as Drain is concerned.
+			s.e.shedSessions.Add(1)
+			s.e.shedEvents.Add(1)
+			s.e.processed.Add(1)
+			return
+		}
 		// Pin the session to the registry generation current at its
 		// first event: the monitor holds that generation's detector, so
 		// a concurrent Reload never changes the weights mid-session.
@@ -1007,22 +1281,54 @@ func (s *engineShard) stageEvent(ev *tokEvent, sink chan<- Alarm, now time.Time)
 		sess = &engineSession{
 			mon:     mon,
 			remap:   s.remapFor(mv.Det.Vocabulary()),
+			id:      ev.sessionID,
 			version: mv.Version,
 			canary:  canary,
 			user:    ev.user,
 			start:   ev.time,
 		}
 		s.sessions[ev.sessionID] = sess
+		s.live.pushTail(sess)
 		s.e.sessions.Add(1)
+		grew = true
 		if canary {
 			s.e.canaryStarted.Add(1)
 		}
+	} else if sess.snap != nil {
+		// Transparent rehydration: the session was compacted while
+		// idle; rebuild its live monitor (byte-identical continuation)
+		// before staging the event.
+		mon, err := sess.snap.Rehydrate()
+		if err != nil {
+			// The session stays compacted (its summary is still
+			// accurate); the event is dropped as a score error.
+			s.e.scoreErrors.Add(1)
+			s.e.processed.Add(1)
+			s.e.logf("session %s: rehydrate: %v", ev.sessionID, err)
+			return
+		}
+		sess.mon = mon
+		sess.snap = nil
+		s.cold.remove(sess)
+		s.live.pushTail(sess)
+		s.e.compacted.Add(-1)
+		s.e.rehydrations.Add(1)
+		grew = true
+	} else {
+		s.live.moveTail(sess)
 	}
 	sess.sink = sink
 	sess.lastSeen = now
+	tokCap := cap(sess.tokens)
 	if s.e.cfg.RecordSessions && ev.tok >= 0 && len(sess.tokens) < s.e.cfg.MaxRecordedActions {
 		sess.tokens = append(sess.tokens, ev.tok)
 	}
+	// Re-account the session while its footprint can still change: on
+	// creation and rehydration, while the routing vote may lazily build
+	// streams and grow the prefix buffer, and when the recorded-token
+	// buffer reallocates. Past the vote freeze a live session's size is
+	// constant, so the steady-state hot path skips the walk.
+	grew = grew || cap(sess.tokens) != tokCap || sess.mon.voting()
 	idx := sess.remap.lookup(s.e.interner, ev.tok)
 	if idx < 0 && ev.action != "" {
 		// The interner's learn budget is exhausted (the only way an
@@ -1050,6 +1356,9 @@ func (s *engineShard) stageEvent(ev *tokEvent, sink chan<- Alarm, now time.Time)
 			}
 			s.e.logf("session %s: unknown action %q (token %d)", ev.sessionID, name, ev.tok)
 		}
+		if grew {
+			s.resize(sess)
+		}
 		return
 	}
 	sc, st, err := sess.mon.StageToken(int(idx))
@@ -1057,7 +1366,15 @@ func (s *engineShard) stageEvent(ev *tokEvent, sink chan<- Alarm, now time.Time)
 		s.e.scoreErrors.Add(1)
 		s.e.processed.Add(1)
 		s.e.logf("session %s: %v", ev.sessionID, err)
+		if grew {
+			s.resize(sess)
+		}
 		return
+	}
+	if grew {
+		// After StageToken: the vote may just have created this
+		// cluster's stream, the dominant per-session allocation.
+		s.resize(sess)
 	}
 	sess.waveMark = s.waveID
 	s.wave = append(s.wave, stagedEvent{ev: *ev, sess: sess, sc: sc, st: st, idx: idx})
@@ -1170,38 +1487,184 @@ func (s *engineShard) emitStep(w *stagedEvent, step MonitorStep) {
 			s.e.detAlarms = append(s.e.detAlarms, a)
 			s.e.detMu.Unlock()
 		} else if sess.sink != nil {
-			// Blocking send: a slow alarm consumer backpressures the
-			// shard (and through the bounded queue, the producers)
-			// rather than dropping alarms.
-			sess.sink <- a
+			s.sendAlarm(sess.sink, a)
 		}
 	}
 }
 
-// evictIdle drops sessions quiet past the expiry.
-func (s *engineShard) evictIdle(now time.Time) {
-	cutoff := now.Add(-s.e.cfg.IdleExpiry)
-	for id, sess := range s.sessions {
-		if sess.lastSeen.Before(cutoff) {
-			s.end(id, sess)
+// sendAlarm delivers one alarm to a streaming sink. Default semantics
+// are a blocking send: a slow alarm consumer backpressures the shard
+// (and through the bounded queue, the producers) rather than dropping
+// alarms. With AlarmSendTimeout set, a sink that stays full past the
+// timeout costs the alarm instead of the shard: the alarm is dropped
+// and counted in AlarmsShed, so one stalled consumer can no longer
+// wedge every session sharing the shard.
+func (s *engineShard) sendAlarm(sink chan<- Alarm, a Alarm) {
+	t := s.e.cfg.AlarmSendTimeout
+	if t <= 0 {
+		sink <- a
+		return
+	}
+	select {
+	case sink <- a:
+		return
+	default:
+	}
+	timer := time.NewTimer(t)
+	defer timer.Stop()
+	select {
+	case sink <- a:
+	case <-timer.C:
+		s.e.alarmsShed.Add(1)
+	}
+}
+
+// sessionOverhead approximates the fixed per-session accounting cost:
+// the engineSession struct plus its shard-map entry.
+const sessionOverhead = 192
+
+// resize re-estimates one session's memory footprint and folds the
+// delta into the shard gauge. Runs only on the shard goroutine (the
+// gauge itself is atomic so Stats and admission checks can read it).
+func (s *engineShard) resize(sess *engineSession) {
+	n := int64(sessionOverhead + len(sess.id) + cap(sess.tokens)*4)
+	if sess.snap != nil {
+		n += int64(sess.snap.MemSize())
+	} else if sess.mon != nil {
+		n += int64(sess.mon.MemSize())
+	}
+	if d := n - sess.mem; d != 0 {
+		sess.mem = n
+		s.mem.Add(d)
+	}
+}
+
+// sweepCompactBudget caps how many live sessions one maintenance sweep
+// examines for compaction, so a tick over a huge quiet shard stays
+// bounded (the remainder is picked up by the next tick).
+const sweepCompactBudget = 1024
+
+// sweep is the shard's maintenance pass, replacing the seed engine's
+// full-map eviction scan. Every phase pops from the head of a
+// lastSeen-ordered list and stops at the first session inside its
+// deadline, so the cost is O(sessions acted on), not O(sessions
+// resident) — the returned examined count (which the amortization test
+// pins) is the number of sessions the sweep actually looked at. Order
+// of phases is the documented shed policy: expire idle sessions, then
+// compact quiet live ones, then — only if still over MemBudget — evict
+// oldest-idle sessions with summaries.
+func (s *engineShard) sweep(now time.Time) (examined int) {
+	if exp := s.e.cfg.IdleExpiry; exp > 0 {
+		cutoff := now.Add(-exp)
+		for _, list := range [...]*sessList{&s.cold, &s.live} {
+			for list.head != nil && list.head.lastSeen.Before(cutoff) {
+				examined++
+				sess := list.head
+				s.end(sess.id, sess)
+				s.e.evictions.Add(1)
+			}
+		}
+	}
+	if ca := s.e.cfg.CompactAfter; ca > 0 {
+		cutoff := now.Add(-ca)
+		budget := sweepCompactBudget
+		for sess := s.live.head; sess != nil && budget > 0 && sess.lastSeen.Before(cutoff); budget-- {
+			examined++
+			next := sess.next
+			// Ineligible sessions (mid-vote, or a backend without
+			// compaction) are skipped in place; they either become
+			// eligible later or age out through IdleExpiry.
+			s.compactSession(sess)
+			sess = next
+		}
+	}
+	if mb := s.e.cfg.MemBudget; mb > 0 {
+		// Shed policy stage two: admission refusal was not enough, so
+		// evict oldest-idle sessions (cold or live, whichever is older)
+		// until the engine-wide gauge is back under budget.
+		for s.e.MemBytes() > mb {
+			sess := s.oldest()
+			if sess == nil {
+				break
+			}
+			examined++
+			s.end(sess.id, sess)
 			s.e.evictions.Add(1)
+			s.e.shedEvictions.Add(1)
 		}
+	}
+	return examined
+}
+
+// oldest returns the shard's longest-idle session across both lists.
+func (s *engineShard) oldest() *engineSession {
+	c, l := s.cold.head, s.live.head
+	switch {
+	case c == nil:
+		return l
+	case l == nil:
+		return c
+	case c.lastSeen.Before(l.lastSeen):
+		return c
+	default:
+		return l
 	}
 }
 
-// evictAll ends every live session (engine Flush and Close).
+// compactSession collapses one live session into its dormant snapshot
+// and moves it to the cold list. Ineligible sessions are left as they
+// are. Runs only on the shard goroutine, and only between waves (the
+// wave is always flushed first, so no staged observation can be in
+// flight for the session).
+func (s *engineShard) compactSession(sess *engineSession) {
+	if sess.mon == nil || !sess.mon.Compactable() {
+		return
+	}
+	snap, err := sess.mon.Compact()
+	if err != nil {
+		s.e.logf("session %s: compact: %v", sess.id, err)
+		return
+	}
+	sess.mon = nil
+	sess.snap = snap
+	s.live.remove(sess)
+	s.cold.pushTail(sess)
+	s.e.compacted.Add(1)
+	s.e.compactions.Add(1)
+	s.resize(sess)
+}
+
+// compactAll collapses every eligible live session (Engine.Compact).
+func (s *engineShard) compactAll() {
+	for sess := s.live.head; sess != nil; {
+		next := sess.next
+		s.compactSession(sess)
+		sess = next
+	}
+}
+
+// evictAll ends every resident session (engine Flush and Close).
 func (s *engineShard) evictAll() {
 	for id, sess := range s.sessions {
 		s.end(id, sess)
 	}
 }
 
-// end removes one session from the shard and reports it to the
-// session-end hook. Runs only on the shard goroutine. The summary's
-// interner snapshot is taken at end time, so it resolves every token the
-// session recorded.
+// end removes one session from the shard — map, list, and memory gauge
+// — and reports it to the session-end hook; a compacted session answers
+// the summary from its snapshot without rehydrating. Runs only on the
+// shard goroutine. The summary's interner snapshot is taken at end
+// time, so it resolves every token the session recorded.
 func (s *engineShard) end(id string, sess *engineSession) {
 	delete(s.sessions, id)
+	if sess.snap != nil {
+		s.cold.remove(sess)
+		s.e.compacted.Add(-1)
+	} else {
+		s.live.remove(sess)
+	}
+	s.mem.Add(-sess.mem)
+	sess.mem = 0
 	s.e.sessions.Add(-1)
 	if s.e.cfg.OnSessionEnd == nil {
 		return
@@ -1210,21 +1673,29 @@ func (s *engineShard) end(id string, sess *engineSession) {
 	if len(sess.tokens) > 0 {
 		snap = s.e.interner.Snapshot()
 	}
-	s.e.cfg.OnSessionEnd(SessionSummary{
+	sum := SessionSummary{
 		SessionID:    id,
 		User:         sess.user,
 		Start:        sess.start,
-		Cluster:      sess.mon.Cluster(),
 		ModelVersion: sess.version,
 		Canary:       sess.canary,
-		Observed:     sess.mon.Position(),
 		Unknown:      sess.unknown,
 		Alarms:       sess.alarms,
-		MinSmoothed:  sess.mon.MinSmoothed(),
-		LastSmoothed: sess.mon.Smoothed(),
 		Tokens:       sess.tokens,
 		Snap:         snap,
-	})
+	}
+	if sess.snap != nil {
+		sum.Cluster = sess.snap.Cluster()
+		sum.Observed = sess.snap.Position()
+		sum.MinSmoothed = sess.snap.MinSmoothed()
+		sum.LastSmoothed = sess.snap.Smoothed()
+	} else {
+		sum.Cluster = sess.mon.Cluster()
+		sum.Observed = sess.mon.Position()
+		sum.MinSmoothed = sess.mon.MinSmoothed()
+		sum.LastSmoothed = sess.mon.Smoothed()
+	}
+	s.e.cfg.OnSessionEnd(sum)
 }
 
 func (e *Engine) logf(format string, args ...any) {

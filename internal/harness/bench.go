@@ -106,6 +106,11 @@ type BenchResult struct {
 	// the serial scoring path over warm session monitors — the "0
 	// allocs/action" regression anchor for the likelihood hot path.
 	ScoreAllocsPerAction float64 `json:"score_allocs_per_action"`
+	// HeapDeltaBytes is the GC-settled live-heap growth across the run
+	// (settled heap after, minus settled heap before, floored at zero):
+	// the memory the run's sessions actually pinned, measured outside
+	// the timed region so the forced collections do not skew latency.
+	HeapDeltaBytes uint64 `json:"heap_delta_bytes"`
 	// Alarms counts alarms raised during the run.
 	Alarms uint64 `json:"alarms"`
 }
@@ -266,6 +271,22 @@ func mallocs() uint64 {
 	return ms.Mallocs
 }
 
+// heapSettled forces two garbage-collection cycles and returns the
+// settled live-heap size. A raw ReadMemStats mid-run mixes live data
+// with however much garbage has accumulated since the last GC — noise
+// that can exceed the signal — so every heap figure the benches report
+// (BENCH_ingest.json deltas, the BENCH_soak.json resting heap and
+// ceiling gate) is measured through this instead. Two cycles, because
+// finalizers queued by the first can release memory only the second
+// collects.
+func heapSettled() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
 // scoreLatency times every scored action of the stream through serial
 // session monitors — the per-event model cost with no queueing around it
 // — then replays the same stream through the now-warm monitors between
@@ -323,6 +344,7 @@ func benchEngineRun(det *core.Detector, opt BenchOptions, stream []actionlog.Eve
 	defer cancel()
 
 	ingest := make([]time.Duration, 0, len(stream)/batch+1)
+	heapBefore := heapSettled()
 	before := mallocs()
 	t0 := time.Now()
 	// A nil sink counts alarms without delivering them: the bench
@@ -353,6 +375,10 @@ func benchEngineRun(det *core.Detector, opt BenchOptions, stream []actionlog.Eve
 	}
 	wall := time.Since(t0)
 	submitAllocs := float64(mallocs()-before) / float64(len(stream))
+	var heapDelta uint64
+	if after := heapSettled(); after > heapBefore {
+		heapDelta = after - heapBefore
+	}
 	st := engine.Stats()
 	return BenchResult{
 		Mode:                 "engine",
@@ -364,6 +390,7 @@ func benchEngineRun(det *core.Detector, opt BenchOptions, stream []actionlog.Eve
 		EventsPerSec:         float64(len(stream)) / wall.Seconds(),
 		Ingest:               percentiles(ingest),
 		SubmitAllocsPerEvent: submitAllocs,
+		HeapDeltaBytes:       heapDelta,
 		Alarms:               st.AlarmsRaised,
 	}, nil
 }

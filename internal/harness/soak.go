@@ -1,0 +1,370 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/core"
+)
+
+// SoakOptions tunes the memory soak bench: one small detector is
+// trained, then Sessions distinct sessions are driven through the
+// engine in cohorts — each cohort's sessions run their full (short)
+// action budget and then go quiet, so the engine's idle-state
+// compaction collapses them while later cohorts fill. The run proves
+// the memory plane: N resident sessions under a fixed heap ceiling,
+// with the shed counters showing whether the engine ever had to refuse
+// or evict work.
+type SoakOptions struct {
+	// Sessions is the number of distinct sessions held resident; 0
+	// defaults to 50000 (the CI smoke size; the local acceptance run
+	// uses 1e6).
+	Sessions int
+	// Actions is the number of actions each session submits; 0
+	// defaults to 8. Must be >= RouteVote, or no session ever becomes
+	// compactable.
+	Actions int
+	// RouteVote overrides the detector's routing-vote length (15 in the
+	// paper config); 0 defaults to 5, so soak sessions freeze their
+	// route — the compaction precondition — within their short lives.
+	RouteVote int
+	// Cohort is the number of sessions concurrently live per fill
+	// cohort; 0 defaults to 4096. Within a cohort events are submitted
+	// round-robin, so the engine's cross-session micro-batching is fed.
+	Cohort int
+	// CompactEvery forces an Engine.Compact after this many cohorts; 0
+	// defaults to 1 (every cohort). Deterministic compaction keeps the
+	// resident set's footprint flat instead of relying on timer ticks.
+	CompactEvery int
+	// TouchFraction is the fraction of sessions re-touched with one
+	// extra event after the fill (default 0.01): the rehydration path
+	// under measurement.
+	TouchFraction float64
+	// Shards, QueueDepth, SubmitBatch shape the engine and feed; 0
+	// defaults to 4 / engine default / 256.
+	Shards, QueueDepth, SubmitBatch int
+	// MaxSessions and MemBudget are passed to the engine: the soak's
+	// shed behavior under them is the thing being proven. MemBudget 0
+	// leaves the engine unbounded (the heap ceiling is then only the
+	// report gate).
+	MaxSessions int
+	MemBudget   int64
+	// Backend, Hidden, Epochs, Seed select and seed the model; defaults
+	// lstm / 16 / 2 / 0.
+	Backend        string
+	Hidden, Epochs int
+	Seed           int64
+	// Monitor is the alarm configuration; the zero value defaults to
+	// core.DefaultMonitorConfig.
+	Monitor core.MonitorConfig
+}
+
+func (o *SoakOptions) setDefaults() {
+	if o.Sessions == 0 {
+		o.Sessions = 50000
+	}
+	if o.Actions == 0 {
+		o.Actions = 8
+	}
+	if o.RouteVote == 0 {
+		o.RouteVote = 5
+	}
+	if o.Cohort == 0 {
+		o.Cohort = 4096
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1
+	}
+	if o.TouchFraction == 0 {
+		o.TouchFraction = 0.01
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.SubmitBatch == 0 {
+		o.SubmitBatch = 256
+	}
+	if o.Backend == "" {
+		o.Backend = "lstm"
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 2
+	}
+	if o.Monitor.EWMAAlpha == 0 {
+		o.Monitor = core.DefaultMonitorConfig()
+	}
+}
+
+// SoakReport is the machine-readable output of one misusectl bench
+// -soak run (the BENCH_soak.json artifact): environment identity, the
+// resident-session census, GC-settled heap figures, the engine's own
+// memory accounting, latency distributions for fill ingest and
+// post-compaction touches, and every shed counter. CI gates on the heap
+// ceiling, zero sheds, and the fill p99.
+type SoakReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Backend   string `json:"backend"`
+	Shards    int    `json:"shards"`
+	Hidden    int    `json:"hidden"`
+	// Sessions is the target census; SessionsResident and
+	// SessionsCompacted are the engine gauges after the fill and final
+	// compaction — resident must equal the target on a shed-free run,
+	// and compacted/resident is the compaction coverage.
+	Sessions          int    `json:"sessions"`
+	ActionsPerSession int    `json:"actions_per_session"`
+	Events            uint64 `json:"events"`
+	SessionsResident  uint64 `json:"sessions_resident"`
+	SessionsCompacted uint64 `json:"sessions_compacted"`
+	// Fill phase: wall time, throughput, and per-SubmitBatch-call
+	// latency (backpressure included) while building the resident set.
+	FillSeconds      float64     `json:"fill_seconds"`
+	FillEventsPerSec float64     `json:"fill_events_per_sec"`
+	Ingest           LatencyDist `json:"ingest"`
+	// Touch phase: one extra event into a sample of compacted sessions
+	// — TouchRehydrations counts how many actually rehydrated, and the
+	// latency distribution prices the rehydrate-on-next-event path.
+	TouchSessions     int         `json:"touch_sessions"`
+	TouchRehydrations uint64      `json:"touch_rehydrations"`
+	Touch             LatencyDist `json:"touch"`
+	// Heap figures, all GC-settled (see heapSettled): the baseline
+	// before the engine existed, the live heap with the full resident
+	// set, and the per-session cost of the difference.
+	HeapBaselineBytes   uint64  `json:"heap_baseline_bytes"`
+	HeapLiveBytes       uint64  `json:"heap_live_bytes"`
+	HeapPerSessionBytes float64 `json:"heap_per_session_bytes"`
+	// MemAccountedBytes is the engine's own MemBytes gauge at peak —
+	// comparing it against the settled heap calibrates the accounting
+	// seam. MemBudgetBytes echoes the configured budget.
+	MemAccountedBytes int64 `json:"mem_accounted_bytes"`
+	MemBudgetBytes    int64 `json:"mem_budget_bytes,omitempty"`
+	// Lifecycle and shed counters (see core.EngineStats).
+	Compactions   uint64 `json:"compactions"`
+	Rehydrations  uint64 `json:"rehydrations"`
+	ShedSessions  uint64 `json:"shed_sessions"`
+	ShedEvents    uint64 `json:"shed_events"`
+	ShedEvictions uint64 `json:"shed_evictions"`
+	AlarmsShed    uint64 `json:"alarms_shed"`
+	Evictions     uint64 `json:"evictions"`
+	Alarms        uint64 `json:"alarms_raised"`
+	// Flush phase: ending every resident session (summary emission
+	// included), the eviction-throughput figure.
+	FlushSeconds    float64 `json:"flush_seconds"`
+	EvictionsPerSec float64 `json:"evictions_per_sec"`
+}
+
+// trainSoakDetector trains the small soak model: the usual scaled
+// config, with the routing vote shortened so the soak's brief sessions
+// cross the compaction-eligibility threshold.
+func trainSoakDetector(tr *Traffic, opt SoakOptions) (*core.Detector, error) {
+	cfg := core.ScaledConfig(tr.Vocab.Size(), len(tr.Train), opt.Hidden, opt.Epochs, opt.Seed)
+	cfg.Backend = opt.Backend
+	cfg.LM.Trainer.LearningRate = 0.01
+	cfg.LM.Network.DropoutRate = 0
+	cfg.RouteVoteActions = opt.RouteVote
+	return core.TrainDetector(cfg, tr.Vocab, tr.Train, nil)
+}
+
+// soakActionPool extracts per-session action scripts from the traffic's
+// evaluation split: session i of the soak plays script i mod pool,
+// cycled out to the action budget.
+func soakActionPool(tr *Traffic, actions int) ([][]string, error) {
+	var pool [][]string
+	for _, l := range tr.EvalSessions() {
+		if l.Session.Len() == 0 {
+			continue
+		}
+		script := make([]string, actions)
+		for k := 0; k < actions; k++ {
+			script[k] = l.Session.Actions[k%l.Session.Len()]
+		}
+		pool = append(pool, script)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("harness: soak needs a traffic evaluation split with events, got none")
+	}
+	return pool, nil
+}
+
+// BenchSoak fills an engine with opt.Sessions distinct sessions — in
+// cohorts, compacting between them — and reports the resident census,
+// settled heap, shed counters, and the fill/touch/flush latency
+// profile. It is the load test behind the memory plane: ~1M sessions
+// locally, 50k in CI, both expected to sit under a fixed heap ceiling
+// with zero sheds.
+func BenchSoak(tr *Traffic, opt SoakOptions) (*SoakReport, error) {
+	opt.setDefaults()
+	if opt.Actions < opt.RouteVote {
+		return nil, fmt.Errorf("harness: soak Actions %d < RouteVote %d: sessions would never become compactable", opt.Actions, opt.RouteVote)
+	}
+	det, err := trainSoakDetector(tr, opt)
+	if err != nil {
+		return nil, fmt.Errorf("harness: soak train %s: %w", opt.Backend, err)
+	}
+	pool, err := soakActionPool(tr, opt.Actions)
+	if err != nil {
+		return nil, err
+	}
+
+	heapBaseline := heapSettled()
+	engine, err := core.NewEngine(det, core.EngineConfig{
+		Shards:      opt.Shards,
+		QueueDepth:  opt.QueueDepth,
+		Monitor:     opt.Monitor,
+		MaxSessions: opt.MaxSessions,
+		MemBudget:   opt.MemBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer engine.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Hour)
+	defer cancel()
+
+	report := &SoakReport{
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		NumCPU:            runtime.NumCPU(),
+		Backend:           opt.Backend,
+		Shards:            opt.Shards,
+		Hidden:            opt.Hidden,
+		Sessions:          opt.Sessions,
+		ActionsPerSession: opt.Actions,
+		MemBudgetBytes:    opt.MemBudget,
+		HeapBaselineBytes: heapBaseline,
+	}
+
+	// Fill: cohorts of concurrently-live sessions, round-robin within a
+	// cohort (feeding micro-batching), compaction between cohorts so
+	// the engine's resident set is dominated by dormant snapshots — the
+	// regime a million-session box actually runs in.
+	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	var ingest []time.Duration
+	batch := make([]actionlog.Event, 0, opt.SubmitBatch)
+	seq := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		if err := engine.SubmitBatch(ctx, batch, nil); err != nil {
+			return err
+		}
+		ingest = append(ingest, time.Since(t0))
+		batch = batch[:0]
+		return nil
+	}
+	t0 := time.Now()
+	for off := 0; off < opt.Sessions; off += opt.Cohort {
+		size := opt.Cohort
+		if off+size > opt.Sessions {
+			size = opt.Sessions - off
+		}
+		for t := 0; t < opt.Actions; t++ {
+			for j := 0; j < size; j++ {
+				id := fmt.Sprintf("soak-%08d", off+j)
+				batch = append(batch, actionlog.Event{
+					Time:      base.Add(time.Duration(seq) * time.Millisecond),
+					User:      id,
+					SessionID: id,
+					Action:    pool[(off+j)%len(pool)][t],
+				})
+				seq++
+				if len(batch) == opt.SubmitBatch {
+					if err := flush(); err != nil {
+						return nil, fmt.Errorf("harness: soak fill: %w", err)
+					}
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return nil, fmt.Errorf("harness: soak fill: %w", err)
+		}
+		if (off/opt.Cohort)%opt.CompactEvery == opt.CompactEvery-1 {
+			// Compact consumes the shard queues FIFO, so it implicitly
+			// waits for the cohort's events before collapsing them.
+			engine.Compact()
+		}
+	}
+	if err := engine.Drain(ctx); err != nil {
+		return nil, fmt.Errorf("harness: soak drain: %w", err)
+	}
+	fill := time.Since(t0)
+	report.FillSeconds = fill.Seconds()
+	report.FillEventsPerSec = float64(seq) / fill.Seconds()
+	report.Ingest = percentiles(ingest)
+
+	// Peak census: everything compacted, queues empty, heap settled.
+	engine.Compact()
+	st := engine.Stats()
+	report.Events = st.EventsProcessed
+	report.SessionsResident = st.SessionsLive
+	report.SessionsCompacted = st.SessionsCompacted
+	report.MemAccountedBytes = st.MemBytes
+	report.HeapLiveBytes = heapSettled()
+	if report.HeapLiveBytes > heapBaseline && opt.Sessions > 0 {
+		report.HeapPerSessionBytes = float64(report.HeapLiveBytes-heapBaseline) / float64(opt.Sessions)
+	}
+
+	// Touch: one extra event into an even sample of the (compacted)
+	// sessions — the transparent-rehydration path, priced end to end.
+	stride := int(1 / opt.TouchFraction)
+	if stride < 1 {
+		stride = 1
+	}
+	var touch []time.Duration
+	touched := 0
+	for i := 0; i < opt.Sessions; i += stride {
+		id := fmt.Sprintf("soak-%08d", i)
+		ev := actionlog.Event{
+			Time:      base.Add(time.Duration(seq) * time.Millisecond),
+			User:      id,
+			SessionID: id,
+			Action:    pool[i%len(pool)][0],
+		}
+		seq++
+		s0 := time.Now()
+		if err := engine.Submit(ctx, ev, nil); err != nil {
+			return nil, fmt.Errorf("harness: soak touch: %w", err)
+		}
+		touch = append(touch, time.Since(s0))
+		touched++
+	}
+	if err := engine.Drain(ctx); err != nil {
+		return nil, fmt.Errorf("harness: soak touch drain: %w", err)
+	}
+	st = engine.Stats()
+	report.TouchSessions = touched
+	report.TouchRehydrations = st.Rehydrations
+	report.Touch = percentiles(touch)
+	report.Compactions = st.Compactions
+	report.Rehydrations = st.Rehydrations
+	report.ShedSessions = st.ShedSessions
+	report.ShedEvents = st.ShedEvents
+	report.ShedEvictions = st.ShedEvictions
+	report.AlarmsShed = st.AlarmsShed
+	report.Alarms = st.AlarmsRaised
+
+	// Flush: end every resident session, summaries included — the
+	// eviction-throughput figure (and the proof the engine can unwind a
+	// full census promptly).
+	f0 := time.Now()
+	engine.Flush()
+	flushWall := time.Since(f0)
+	report.FlushSeconds = flushWall.Seconds()
+	ended := engine.Stats()
+	report.Evictions = ended.Evictions
+	if flushWall > 0 {
+		report.EvictionsPerSec = float64(report.SessionsResident) / flushWall.Seconds()
+	}
+	return report, nil
+}

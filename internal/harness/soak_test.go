@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+// TestBenchSoakSmoke runs a miniature soak end to end: the full
+// resident census must survive (zero sheds under no budget pressure),
+// every session must end compacted, and every touched session must
+// rehydrate.
+func TestBenchSoakSmoke(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BenchSoak(tr, SoakOptions{
+		Sessions:  400,
+		Cohort:    128,
+		Epochs:    1,
+		MemBudget: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsResident != 400 {
+		t.Fatalf("resident %d sessions, want the full census of 400", rep.SessionsResident)
+	}
+	if rep.SessionsCompacted != 400 {
+		t.Fatalf("compacted %d of 400 sessions, want all (short sessions past the vote freeze)", rep.SessionsCompacted)
+	}
+	if shed := rep.ShedSessions + rep.ShedEvents + rep.ShedEvictions + rep.AlarmsShed; shed != 0 {
+		t.Fatalf("shed %d under a roomy budget, want 0: %+v", shed, rep)
+	}
+	if rep.TouchSessions == 0 || rep.TouchRehydrations != uint64(rep.TouchSessions) {
+		t.Fatalf("touched %d sessions but rehydrated %d, want every touch to rehydrate", rep.TouchSessions, rep.TouchRehydrations)
+	}
+	if rep.MemAccountedBytes <= 0 || rep.HeapLiveBytes == 0 {
+		t.Fatalf("memory figures missing: accounted %d, live heap %d", rep.MemAccountedBytes, rep.HeapLiveBytes)
+	}
+	if rep.Events == 0 || rep.FillEventsPerSec <= 0 {
+		t.Fatalf("fill figures missing: %+v", rep)
+	}
+}

@@ -1,0 +1,54 @@
+package lm
+
+import (
+	"fmt"
+
+	"misusedetect/internal/nn"
+	"misusedetect/internal/scorer"
+	"misusedetect/internal/tensor"
+)
+
+// Idle-state compaction for the LSTM backend: a dormant stream keeps
+// only its recurrent (H, C) state — 2·hidden floats instead of the
+// ~12·hidden + 2·vocab floats of a live preallocated stream. The
+// assertions pin the seams from this side, mirroring how the Stream
+// contract is pinned in lm.go.
+var (
+	_ scorer.StreamCompactor = (*Model)(nil)
+	_ scorer.MemSizer        = (*nn.StreamState)(nil)
+)
+
+// streamSnapshot is the compact dormant form of one LSTM stream.
+type streamSnapshot struct {
+	h, c tensor.Vector
+	// primed records whether the stream had consumed at least one action
+	// (and therefore carries a next-action prediction to recompute).
+	primed bool
+}
+
+// MemSize implements scorer.StreamSnapshot.
+func (s *streamSnapshot) MemSize() int {
+	return (len(s.h)+len(s.c))*8 + 64
+}
+
+// CompactStream collapses one of this model's streams into its snapshot,
+// taking ownership of the stream's state vectors.
+func (m *Model) CompactStream(st scorer.Stream) (scorer.StreamSnapshot, error) {
+	ns, ok := st.(*nn.StreamState)
+	if !ok {
+		return nil, fmt.Errorf("lm: compact: foreign stream type %T", st)
+	}
+	h, c, primed := ns.SnapshotState()
+	return &streamSnapshot{h: h, c: c, primed: primed}, nil
+}
+
+// RehydrateStream rebuilds a live preallocated stream from a snapshot
+// taken by CompactStream. The rebuilt stream's scores are byte-identical
+// to the uninterrupted stream's (see nn.RestoreStream).
+func (m *Model) RehydrateStream(snap scorer.StreamSnapshot) (scorer.Stream, error) {
+	ss, ok := snap.(*streamSnapshot)
+	if !ok {
+		return nil, fmt.Errorf("lm: rehydrate: foreign snapshot type %T", snap)
+	}
+	return m.net.RestoreStream(ss.h, ss.c, ss.primed)
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+
+	"misusedetect/internal/tensor"
+)
+
+// Idle-stream compaction support: a dormant LSTM stream is fully
+// described by its recurrent state (H, C) plus whether it has consumed
+// at least one action. Everything else a live StreamState carries —
+// step scratch, logits and probability buffers — is derived per step
+// and can be dropped while a session is idle, then rebuilt on demand.
+//
+// The byte-identity argument: Observe computes the next prediction as
+// softmax(dense(H')) where H' is the post-step hidden state, and reads
+// the *previous* prediction for the observed action's likelihood. So a
+// stream rebuilt from (H, C) with its prediction recomputed through the
+// very same ForwardInto+Softmax kernels continues with exactly the
+// likelihoods the uninterrupted stream would have returned.
+
+const (
+	// floatBytes is the accounting size of one float64 slice element.
+	floatBytes = 8
+	// streamStructOverhead approximates the fixed per-stream cost: the
+	// StreamState, State, and StreamScratch structs plus slice headers.
+	streamStructOverhead = 160
+)
+
+// MemSize estimates the resident heap bytes of this stream's
+// session-local state (recurrent state plus scratch buffers), excluding
+// the shared network weights. Implements the scorer.MemSizer seam — via
+// lm's assertion, like the Stream contract itself.
+func (s *StreamState) MemSize() int {
+	hidden := s.net.cfg.HiddenSize
+	n := 2 * hidden // state.H + state.C
+	if s.scratch != nil {
+		// StepScratch: z (4h) + i,f,o,g (h each) + h,c double buffers.
+		n += 10 * hidden
+		n += len(s.scratch.logits) + len(s.scratch.probs)
+	} else if s.nextProbs != nil {
+		n += len(s.nextProbs)
+	}
+	return n*floatBytes + streamStructOverhead
+}
+
+// SnapshotState surrenders the stream's recurrent state for compaction:
+// the hidden and cell vectors (transferred, not copied — the stream must
+// not be used afterwards) and whether the stream has consumed at least
+// one action (primed). An unprimed stream has no prediction yet, so
+// rehydration must not fabricate one.
+func (s *StreamState) SnapshotState() (h, c tensor.Vector, primed bool) {
+	return s.state.H, s.state.C, s.nextProbs != nil
+}
+
+// RestoreStream rebuilds a live preallocated stream from a snapshot
+// taken by SnapshotState on a stream of this network. The next-action
+// prediction is recomputed from the hidden state through the same
+// dense+softmax kernels Observe uses, so the restored stream's scores
+// are byte-identical to the uninterrupted stream's.
+func (n *LanguageNetwork) RestoreStream(h, c tensor.Vector, primed bool) (*StreamState, error) {
+	if len(h) != n.cfg.HiddenSize || len(c) != n.cfg.HiddenSize {
+		return nil, fmt.Errorf("nn: restore stream: state size %d/%d, want %d", len(h), len(c), n.cfg.HiddenSize)
+	}
+	s := &StreamState{
+		net:     n,
+		state:   &State{H: h, C: c},
+		scratch: n.NewStreamScratch(),
+	}
+	if primed {
+		n.dense.ForwardInto(s.scratch.logits, h)
+		tensor.Softmax(s.scratch.probs, s.scratch.logits)
+		s.nextProbs = s.scratch.probs
+	}
+	return s, nil
+}

@@ -95,6 +95,15 @@ func (f *Featurizer) Stream() *PrefixStream {
 	return s
 }
 
+// MemSize estimates the resident heap bytes of this stream's buffers —
+// three vocab-proportional slices — for the engine's per-session memory
+// accounting. The routing featurizer is the dominant per-session cost
+// after the scoring stream itself, which is why compacted sessions drop
+// it entirely (the route is frozen once the vote window has passed).
+func (s *PrefixStream) MemSize() int {
+	return (len(s.x)+len(s.out)+cap(s.nonzero))*8 + 64
+}
+
 // Observe adds one action and returns the current prefix features. The
 // returned slice is reused by the next Observe call in every mode;
 // callers must not retain it.
