@@ -113,10 +113,17 @@ func cmdEval(args []string) error {
 			fmt.Printf(" (mean time-to-detection %.1f actions)", rep.MeanTimeToDetection)
 		}
 		fmt.Println()
-		for kind, n := range rep.DetectedByKind {
-			fmt.Printf("    %-18s %d\n", kind, n)
+		for _, kind := range sortedIntKeys(rep.DetectedByKind) {
+			fmt.Printf("    %-18s %d", kind, rep.DetectedByKind[kind])
+			if ttd := rep.TTDByKind[kind]; ttd > 0 {
+				fmt.Printf(" (mean TTD %.1f actions)", ttd)
+			}
+			fmt.Println()
 		}
 		fmt.Printf("  false alarms:    %d/%d normal sessions\n", rep.AlarmedNormals, rep.NormalSessions)
+		for _, kind := range sortedIntKeys(rep.AlarmedNormalsByKind) {
+			fmt.Printf("    %-18s %d\n", kind, rep.AlarmedNormalsByKind[kind])
+		}
 		return nil
 	}
 
@@ -197,6 +204,20 @@ func renderEvalReport(report *harness.EvalReport) {
 			fmt.Printf(", mean TTD %.1f actions", rp.MeanTimeToDetection)
 		}
 		fmt.Println()
+		if len(br.Scenarios) > 0 {
+			fmt.Printf("  per-scenario breakdown at the %.0f%%-FPR operating point:\n", br.FPRBudget*100)
+			fmt.Printf("    %-16s %8s %9s %11s %12s %9s %8s\n",
+				"scenario", "sessions", "campaigns", "tpr@budget", "false-alarms", "detected", "ttd")
+			for _, s := range br.Scenarios {
+				camps := "-"
+				if s.Campaigns > 0 {
+					camps = fmt.Sprintf("%d/%d", s.DetectedCampaigns, s.Campaigns)
+				}
+				fmt.Printf("    %-16s %8d %9s %11s %12s %9d %8s\n",
+					s.Scenario, s.Sessions, camps, fmtRate(s.TPRAtBudget), fmtRate(s.FalseAlarmRate),
+					s.DetectedSessions, fmtTTD(s.MeanTimeToDetection))
+			}
+		}
 		for _, cr := range br.Clusters {
 			if cr.Normals == 0 && cr.Anomalies == 0 {
 				continue
@@ -237,6 +258,8 @@ func cmdBench(args []string) error {
 	soakSessions := fs.Int("soak-sessions", 50000, "with -soak: distinct sessions held resident (the local acceptance run uses 1000000)")
 	soakActions := fs.Int("soak-actions", 8, "with -soak: actions submitted per session")
 	soakCeiling := fs.String("soak-ceiling", "", "with -soak: heap ceiling as a byte size (e.g. 512m, 2g); doubles as the engine MemBudget, and the run fails if the settled live heap exceeds it or anything was shed below it (CI gate)")
+	soakMaxSessions := fs.Int("soak-max-sessions", 0, "with -soak: engine MaxSessions admission cap (0 = uncapped)")
+	soakFlash := fs.Int("soak-flash", 0, "with -soak: drive a benign flash-crowd surge of this many brand-new sessions at the filled engine; combined with -soak-max-sessions it becomes a CI gate — the surge must be shed at admission with zero alarms")
 	maxSoakP99 := fs.Duration("max-soak-p99", 0, "with -soak: exit nonzero when the fill's p99 per-batch ingest latency exceeds this (CI gate)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after a forced GC) to this file when the bench finishes")
@@ -341,14 +364,16 @@ func cmdBench(args []string) error {
 			}
 		}
 		report, err := harness.BenchSoak(tr, harness.SoakOptions{
-			Sessions:   *soakSessions,
-			Actions:    *soakActions,
-			Shards:     shardCounts[0],
-			QueueDepth: *queue,
-			Hidden:     *hidden,
-			Epochs:     *epochs,
-			Seed:       *seed,
-			MemBudget:  ceiling,
+			Sessions:      *soakSessions,
+			Actions:       *soakActions,
+			Shards:        shardCounts[0],
+			QueueDepth:    *queue,
+			Hidden:        *hidden,
+			Epochs:        *epochs,
+			Seed:          *seed,
+			MemBudget:     ceiling,
+			MaxSessions:   *soakMaxSessions,
+			FlashSessions: *soakFlash,
 		})
 		if err != nil {
 			return err
@@ -369,10 +394,31 @@ func cmdBench(args []string) error {
 			}
 			// Below the ceiling the engine must never have refused or
 			// evicted anything: a shed under headroom is an accounting or
-			// policy bug, not load.
-			if shed := report.ShedSessions + report.ShedEvents + report.ShedEvictions + report.AlarmsShed; shed > 0 {
+			// policy bug, not load. A -soak-flash surge's sheds are excluded
+			// — being refused is what the surge is for.
+			shed := (report.ShedSessions - report.FlashShedSessions) +
+				(report.ShedEvents - report.FlashShedEvents) +
+				(report.ShedEvictions - report.FlashShedEvictions) +
+				report.AlarmsShed
+			if shed > 0 {
 				return fmt.Errorf("bench: soak shed %d (sessions %d, events %d, evictions %d, alarms %d) below the -soak-ceiling %s",
 					shed, report.ShedSessions, report.ShedEvents, report.ShedEvictions, report.AlarmsShed, core.FormatByteSize(ceiling))
+			}
+		}
+		if *soakFlash > 0 && *soakMaxSessions > 0 {
+			// The flash gate only holds in admission-refusal mode: under a
+			// MemBudget alone the surge is admitted, scored, and alarmed on
+			// like any other traffic, so zero-alarm is not a valid check
+			// there.
+			if report.FlashShedSessions == 0 || report.FlashShedEvents == 0 {
+				return fmt.Errorf("bench: soak flash surge of %d sessions was admitted past the -soak-max-sessions cap %d (shed sessions %d, events %d)",
+					*soakFlash, *soakMaxSessions, report.FlashShedSessions, report.FlashShedEvents)
+			}
+			if report.FlashAlarms != 0 {
+				return fmt.Errorf("bench: soak flash surge raised %d alarms, want 0 (benign refused traffic is never scored)", report.FlashAlarms)
+			}
+			if report.AlarmsShed != 0 {
+				return fmt.Errorf("bench: soak attributed %d alarms to shedding, want 0", report.AlarmsShed)
 			}
 		}
 		if *maxSoakP99 > 0 {
@@ -463,6 +509,33 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
+// fmtRate renders a per-scenario rate, where -1 is the "not applicable
+// for this class" sentinel (TPR on benign rows, FAR on anomalous ones).
+func fmtRate(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// fmtTTD renders a mean time-to-detection in actions (-1 when the class
+// was never detected, or is benign).
+func fmtTTD(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func sortedIntKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func sortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -507,6 +580,10 @@ func renderSoakReport(r *harness.SoakReport) {
 		r.TouchSessions, r.TouchRehydrations, r.Touch.P50, r.Touch.P99)
 	fmt.Printf("  shed:            %d sessions, %d events, %d budget evictions, %d alarms\n",
 		r.ShedSessions, r.ShedEvents, r.ShedEvictions, r.AlarmsShed)
+	if r.FlashSessions > 0 {
+		fmt.Printf("  flash surge:     %d sessions in %.1fs, shed %d sessions / %d events / %d evictions, %d alarms, p50/p99 %.1f/%.1f us per batch\n",
+			r.FlashSessions, r.FlashSeconds, r.FlashShedSessions, r.FlashShedEvents, r.FlashShedEvictions, r.FlashAlarms, r.Flash.P50, r.Flash.P99)
+	}
 	fmt.Printf("  flush:           %d sessions ended in %.1fs (%.0f evictions/sec), %d alarms raised\n",
 		r.SessionsResident, r.FlushSeconds, r.EvictionsPerSec, r.Alarms)
 }

@@ -36,11 +36,25 @@ const (
 	KindMassDeletion    = "mass-deletion"
 	KindAccountFactory  = "account-factory"
 	KindCredentialSweep = "credential-sweep"
+	// KindMimicry, KindLowAndSlow, and KindCoordinated mark the
+	// adversarial scenario families (logsim.MisuseScenario names):
+	// intent hidden in high-likelihood routines, one campaign spread
+	// across many short sessions, and complementary multi-user slices.
+	KindMimicry     = "mimicry"
+	KindLowAndSlow  = "low-and-slow"
+	KindCoordinated = "coordinated"
+	// KindFlashCrowd marks benign surge traffic: legitimate sessions
+	// packed into seconds that stress shedding and must NOT alarm.
+	KindFlashCrowd = "flash-crowd"
 )
 
 // AnomalyKinds lists every anomalous session kind the corpus must cover.
+// KindFlashCrowd is deliberately absent: surge sessions are benign.
 func AnomalyKinds() []string {
-	return []string{KindRandom, KindMassDeletion, KindAccountFactory, KindCredentialSweep}
+	return []string{
+		KindRandom, KindMassDeletion, KindAccountFactory, KindCredentialSweep,
+		KindMimicry, KindLowAndSlow, KindCoordinated,
+	}
 }
 
 // Session is one labeled corpus session.
@@ -52,11 +66,17 @@ type Session struct {
 	// Kind is one of the Kind* constants.
 	Kind string `json:"kind"`
 	// ExpectedCluster is the generating profile ID for normal sessions
-	// and -1 for anomalous ones.
+	// and -1 for anomalous ones. Benign flash-crowd sessions also carry
+	// -1: they are legitimate surge traffic, but they are evaluation
+	// holdout, never training material.
 	ExpectedCluster int `json:"expected_cluster"`
 	// ExpectedAnomalous is the ground-truth label: should a detector
 	// flag this session?
 	ExpectedAnomalous bool `json:"expected_anomalous"`
+	// Campaign groups the sessions of one multi-session scenario unit
+	// (a low-and-slow campaign, a coordinated attack, one flash-crowd
+	// surge); empty for single-session kinds.
+	Campaign string `json:"campaign,omitempty"`
 	// Actions is the ordered action-name sequence.
 	Actions []string `json:"actions"`
 }

@@ -37,24 +37,43 @@ func TestCorpusSize(t *testing.T) {
 }
 
 // TestCorpusCoversEveryProfile asserts every logsim behavior profile
-// contributes normal sessions, each consistently labeled.
+// contributes normal sessions, each consistently labeled. Benign
+// flash-crowd surge sessions are the one other normal kind: they carry
+// no cluster (eval-only holdout) and a surge campaign tag.
 func TestCorpusCoversEveryProfile(t *testing.T) {
 	c := load(t)
 	profiles := logsim.DefaultProfiles()
 	perProfile := make(map[int]int)
+	flash := 0
 	for _, s := range c.Normals() {
-		if s.Kind != KindProfile {
-			t.Fatalf("normal session %s has kind %q, want %q", s.ID, s.Kind, KindProfile)
+		switch s.Kind {
+		case KindProfile:
+			if s.ExpectedCluster < 0 || s.ExpectedCluster >= len(profiles) {
+				t.Fatalf("normal session %s has cluster %d outside [0,%d)", s.ID, s.ExpectedCluster, len(profiles))
+			}
+			if s.Campaign != "" {
+				t.Fatalf("profile session %s carries campaign %q", s.ID, s.Campaign)
+			}
+			perProfile[s.ExpectedCluster]++
+		case KindFlashCrowd:
+			if s.ExpectedCluster != -1 {
+				t.Fatalf("flash-crowd session %s has cluster %d, want -1 (eval-only)", s.ID, s.ExpectedCluster)
+			}
+			if s.Campaign == "" {
+				t.Fatalf("flash-crowd session %s has no surge campaign tag", s.ID)
+			}
+			flash++
+		default:
+			t.Fatalf("normal session %s has kind %q, want %q or %q", s.ID, s.Kind, KindProfile, KindFlashCrowd)
 		}
-		if s.ExpectedCluster < 0 || s.ExpectedCluster >= len(profiles) {
-			t.Fatalf("normal session %s has cluster %d outside [0,%d)", s.ID, s.ExpectedCluster, len(profiles))
-		}
-		perProfile[s.ExpectedCluster]++
 	}
 	for _, p := range profiles {
 		if perProfile[p.ID] < 3 {
 			t.Errorf("profile %d (%s) has %d corpus sessions, want >= 3", p.ID, p.Name, perProfile[p.ID])
 		}
+	}
+	if flash < 2 {
+		t.Errorf("corpus has %d flash-crowd sessions, want >= 2", flash)
 	}
 }
 
@@ -87,10 +106,12 @@ func TestCorpusCoversEveryAnomalyKind(t *testing.T) {
 		}
 	}
 	// The misuse kinds must match the logsim scenario names so the corpus
-	// stays aligned with the simulator.
-	for _, sc := range []logsim.MisuseScenario{
-		logsim.MisuseMassDeletion, logsim.MisuseAccountFactory, logsim.MisuseCredentialSweep,
-	} {
+	// stays aligned with the simulator — every anomalous scenario in the
+	// registry must appear.
+	for _, sc := range logsim.AllScenarios() {
+		if !sc.Anomalous() {
+			continue
+		}
 		if perKind[sc.String()] == 0 {
 			t.Errorf("misuse scenario %s missing from corpus", sc)
 		}
@@ -99,11 +120,11 @@ func TestCorpusCoversEveryAnomalyKind(t *testing.T) {
 
 // TestCorpusCoverageFloor is the single coverage table for the corpus as
 // a test asset (the synthetic-corpus pattern of the lumber pipeline):
-// every taxonomy leaf — all 13 behavior profiles AND all 4 anomaly kinds,
-// with the 3 scripted misuse scenarios spelled out — must appear in at
-// least 2 sessions, so no single-session fluke can carry a leaf and
-// harness evaluations always see every scenario kind on both replay
-// paths.
+// every taxonomy leaf — all 13 behavior profiles AND every anomaly kind
+// (with every logsim scenario spelled out via the registry, including
+// the benign flash-crowd class) — must appear in at least 2 sessions,
+// so no single-session fluke can carry a leaf and harness evaluations
+// always see every scenario kind on both replay paths.
 func TestCorpusCoverageFloor(t *testing.T) {
 	c := load(t)
 	const floor = 2
@@ -120,9 +141,7 @@ func TestCorpusCoverageFloor(t *testing.T) {
 		leaves = append(leaves, fmt.Sprintf("profile-%02d", p.ID))
 	}
 	leaves = append(leaves, AnomalyKinds()...)
-	for _, sc := range []logsim.MisuseScenario{
-		logsim.MisuseMassDeletion, logsim.MisuseAccountFactory, logsim.MisuseCredentialSweep,
-	} {
+	for _, sc := range logsim.AllScenarios() {
 		leaves = append(leaves, sc.String())
 	}
 	for _, leaf := range leaves {

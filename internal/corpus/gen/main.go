@@ -27,7 +27,14 @@ const (
 	perProfile = 6
 	randomN    = 8
 	perMisuse  = 5
-	seed       = 20190707
+	// Adversarial families: single mimicry sessions plus whole
+	// low-and-slow / coordinated campaigns and one flash-crowd surge
+	// (each unit expands to several sessions).
+	perMimicry      = 3
+	lowSlowUnits    = 2
+	coordUnits      = 2
+	flashCrowdUnits = 1
+	seed            = 20190707
 )
 
 func main() {
@@ -121,6 +128,39 @@ func build() (*corpus.Corpus, error) {
 				ExpectedCluster:   -1,
 				ExpectedAnomalous: true,
 				Actions:           s.Actions,
+			})
+		}
+	}
+
+	// Adversarial scenario families. Each section uses an independent
+	// seed offset so appending families reproduces the earlier sections
+	// byte-identically.
+	adversarial := []struct {
+		scenario logsim.MisuseScenario
+		units    int
+		seedOff  int64
+	}{
+		{logsim.MisuseMimicry, perMimicry, 300},
+		{logsim.MisuseLowAndSlow, lowSlowUnits, 400},
+		{logsim.MisuseCoordinated, coordUnits, 500},
+		{logsim.BenignFlashCrowd, flashCrowdUnits, 600},
+	}
+	for _, a := range adversarial {
+		ss, err := logsim.GenerateScenario(a.scenario, a.units, seed+a.seedOff)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.scenario, err)
+		}
+		for i, s := range ss {
+			c.Sessions = append(c.Sessions, corpus.Session{
+				ID:   fmt.Sprintf("corpus-%s-%02d", a.scenario, i),
+				User: s.Session.User,
+				Kind: a.scenario.String(),
+				// Flash-crowd sessions are benign but still eval-only
+				// holdout, so every adversarial session carries -1.
+				ExpectedCluster:   -1,
+				ExpectedAnomalous: s.Anomalous,
+				Campaign:          s.Campaign,
+				Actions:           s.Session.Actions,
 			})
 		}
 	}

@@ -3,10 +3,13 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"misusedetect/internal/actionlog"
 	"misusedetect/internal/core"
+	"misusedetect/internal/corpus"
+	"misusedetect/internal/logsim"
 	"misusedetect/internal/metrics"
 	"misusedetect/internal/scorer"
 )
@@ -80,6 +83,24 @@ type Detection struct {
 	// DetectedByKind counts detected anomalous sessions per scenario
 	// kind.
 	DetectedByKind map[string]int `json:"detected_by_kind"`
+	// TTDByKind is the mean time-to-detection (actions) of the detected
+	// anomalous sessions per scenario kind.
+	TTDByKind map[string]float64 `json:"ttd_by_kind,omitempty"`
+	// AlarmedNormalsByKind counts false-alarmed benign sessions per
+	// kind (profile holdout vs flash-crowd surges).
+	AlarmedNormalsByKind map[string]int `json:"alarmed_normals_by_kind,omitempty"`
+}
+
+// firstAlarms reduces an alarm stream to each session's first alarm
+// position.
+func firstAlarms(alarms []core.Alarm) map[string]int {
+	first := make(map[string]int)
+	for _, a := range alarms {
+		if _, ok := first[a.SessionID]; !ok {
+			first[a.SessionID] = a.Position
+		}
+	}
+	return first
 }
 
 // foldAlarms reduces an alarm stream to session-level detection counts:
@@ -87,14 +108,17 @@ type Detection struct {
 // it, and its time-to-detection is the 1-based position of its first
 // alarm.
 func foldAlarms(alarms []core.Alarm, labeled []LabeledSession) Detection {
-	firstAlarm := make(map[string]int)
-	for _, a := range alarms {
-		if _, ok := firstAlarm[a.SessionID]; !ok {
-			firstAlarm[a.SessionID] = a.Position
-		}
+	return foldFirstAlarms(firstAlarms(alarms), labeled)
+}
+
+func foldFirstAlarms(firstAlarm map[string]int, labeled []LabeledSession) Detection {
+	det := Detection{
+		DetectedByKind:       make(map[string]int),
+		TTDByKind:            make(map[string]float64),
+		AlarmedNormalsByKind: make(map[string]int),
 	}
-	det := Detection{DetectedByKind: make(map[string]int)}
 	var ttdSum float64
+	kindTTD := make(map[string]float64)
 	for _, l := range labeled {
 		pos, alarmed := firstAlarm[l.Session.ID]
 		if l.ExpectedAnomalous {
@@ -103,17 +127,22 @@ func foldAlarms(alarms []core.Alarm, labeled []LabeledSession) Detection {
 				det.DetectedAnomalies++
 				det.DetectedByKind[l.Kind]++
 				ttdSum += float64(pos + 1)
+				kindTTD[l.Kind] += float64(pos + 1)
 			}
 		} else {
 			det.NormalSessions++
 			if alarmed {
 				det.AlarmedNormals++
+				det.AlarmedNormalsByKind[l.Kind]++
 			}
 		}
 	}
 	det.MeanTimeToDetection = -1
 	if det.DetectedAnomalies > 0 {
 		det.MeanTimeToDetection = ttdSum / float64(det.DetectedAnomalies)
+	}
+	for kind, sum := range kindTTD {
+		det.TTDByKind[kind] = sum / float64(det.DetectedByKind[kind])
 	}
 	return det
 }
@@ -158,6 +187,42 @@ type BackendReport struct {
 	Calibrated core.MonitorConfig `json:"calibrated"`
 	Clusters   []ClusterReport    `json:"clusters"`
 	Replay     ReplayReport       `json:"replay"`
+	// Scenarios is the per-attack-class breakdown: one row per scenario
+	// kind in the evaluation split (every kind except plain profile
+	// holdout, including the benign flash-crowd control class).
+	Scenarios []ScenarioReport `json:"scenarios"`
+}
+
+// ScenarioReport is the detection-quality breakdown for one scenario
+// kind — the per-attack-class numbers quality gates act on, so a model
+// that only catches loud scripted misuse can't hide behind a blended
+// AUC.
+type ScenarioReport struct {
+	// Scenario is the kind tag (logsim.MisuseScenario name, or "random").
+	Scenario string `json:"scenario"`
+	// Benign marks control classes (flash-crowd) that must NOT alarm.
+	Benign bool `json:"benign,omitempty"`
+	// Sessions counts the class's evaluation sessions; Campaigns counts
+	// distinct multi-session units (0 for single-session kinds).
+	Sessions  int `json:"sessions"`
+	Campaigns int `json:"campaigns,omitempty"`
+	// TPRAtBudget is the fraction of the class's scored sessions flagged
+	// at the shared FPR-budget operating point (scores below
+	// BackendReport.ScoreThreshold); -1 for benign classes.
+	TPRAtBudget float64 `json:"tpr_at_budget"`
+	// FalseAlarmRate is the replay-level fraction of the class's benign
+	// sessions that raised an alarm; -1 for anomalous classes.
+	FalseAlarmRate float64 `json:"false_alarm_rate"`
+	// DetectedSessions counts class sessions that raised at least one
+	// alarm in the engine replay (for benign classes these are false
+	// alarms); DetectedCampaigns counts campaigns with >= 1 detected
+	// member — the detection unit for low-and-slow and coordinated
+	// attacks, where catching any slice exposes the whole campaign.
+	DetectedSessions  int `json:"detected_sessions"`
+	DetectedCampaigns int `json:"detected_campaigns,omitempty"`
+	// MeanTimeToDetection is the replay-level mean actions to first
+	// alarm over detected sessions (-1 when none, or benign).
+	MeanTimeToDetection float64 `json:"mean_time_to_detection_actions"`
 }
 
 // EvalReport is the report of one evaluation run across backends.
@@ -333,11 +398,12 @@ func EvalDetector(det *core.Detector, tr *Traffic, opt EvalOptions) (BackendRepo
 
 	br.Clusters = clusterReports(det.ClusterCount(), scored, calibrated)
 
-	replay, err := replayEngine(det, calibrated, eval, opt.Shards)
+	replay, first, err := replayEngine(det, calibrated, eval, opt.Shards)
 	if err != nil {
 		return BackendReport{}, err
 	}
 	br.Replay = replay
+	br.Scenarios = scenarioReports(eval.EvalSessions(), scored, br.ScoreThreshold, first)
 	return br, nil
 }
 
@@ -446,14 +512,16 @@ func clusterReports(clusters int, scored []sessionScore, calibrated core.Monitor
 // sharded engine configured with the calibrated thresholds and derives
 // the alarm-level outcome: which sessions alarmed, and how many actions
 // an anomalous session ran before its first alarm.
-func replayEngine(det *core.Detector, monitor core.MonitorConfig, tr *Traffic, shards int) (ReplayReport, error) {
+// replayEngine also returns each session's first alarm position so the
+// caller can assemble per-scenario breakdowns from the same replay.
+func replayEngine(det *core.Detector, monitor core.MonitorConfig, tr *Traffic, shards int) (ReplayReport, map[string]int, error) {
 	engine, err := core.NewEngine(det, core.EngineConfig{
 		Shards:        shards,
 		Monitor:       monitor,
 		Deterministic: true,
 	})
 	if err != nil {
-		return ReplayReport{}, err
+		return ReplayReport{}, nil, err
 	}
 	defer engine.Close()
 	events := tr.Events()
@@ -461,11 +529,107 @@ func replayEngine(det *core.Detector, monitor core.MonitorConfig, tr *Traffic, s
 	defer cancel()
 	alarms, err := engine.Replay(ctx, events)
 	if err != nil {
-		return ReplayReport{}, err
+		return ReplayReport{}, nil, err
 	}
+	first := firstAlarms(alarms)
 	return ReplayReport{
 		Shards:    shards,
 		Events:    len(events),
-		Detection: foldAlarms(alarms, tr.EvalSessions()),
-	}, nil
+		Detection: foldFirstAlarms(first, tr.EvalSessions()),
+	}, first, nil
+}
+
+// scenarioReports assembles the per-attack-class breakdown from the
+// score-level operating point and the replay's first-alarm positions.
+// Rows follow the logsim scenario registry order, then any remaining
+// non-profile kinds (the random anomaly class); only kinds present in
+// the evaluation split get a row.
+func scenarioReports(eval []LabeledSession, scored []sessionScore, threshold float64, firstAlarm map[string]int) []ScenarioReport {
+	type agg struct {
+		ScenarioReport
+		scoredSessions int
+		flagged        int
+		campaigns      map[string]bool
+		detectedCamps  map[string]bool
+		ttdSum         float64
+	}
+	byKind := make(map[string]*agg)
+	get := func(kind string, benign bool) *agg {
+		a, ok := byKind[kind]
+		if !ok {
+			a = &agg{
+				ScenarioReport: ScenarioReport{Scenario: kind, Benign: benign},
+				campaigns:      make(map[string]bool),
+				detectedCamps:  make(map[string]bool),
+			}
+			byKind[kind] = a
+		}
+		return a
+	}
+	for _, l := range eval {
+		if l.Kind == corpus.KindProfile {
+			continue
+		}
+		a := get(l.Kind, !l.ExpectedAnomalous)
+		a.Sessions++
+		if l.Campaign != "" {
+			a.campaigns[l.Campaign] = true
+		}
+		if pos, alarmed := firstAlarm[l.Session.ID]; alarmed {
+			a.DetectedSessions++
+			a.ttdSum += float64(pos + 1)
+			if l.Campaign != "" {
+				a.detectedCamps[l.Campaign] = true
+			}
+		}
+	}
+	for _, s := range scored {
+		if s.labeled.Kind == corpus.KindProfile {
+			continue
+		}
+		a := get(s.labeled.Kind, !s.labeled.ExpectedAnomalous)
+		a.scoredSessions++
+		if s.score < threshold {
+			a.flagged++
+		}
+	}
+	var order []string
+	for _, sc := range logsim.AllScenarios() {
+		order = append(order, sc.String())
+	}
+	var rest []string
+	known := make(map[string]bool, len(order))
+	for _, k := range order {
+		known[k] = true
+	}
+	for kind := range byKind {
+		if !known[kind] {
+			rest = append(rest, kind)
+		}
+	}
+	sort.Strings(rest)
+	var out []ScenarioReport
+	for _, kind := range append(order, rest...) {
+		a, ok := byKind[kind]
+		if !ok {
+			continue
+		}
+		a.Campaigns = len(a.campaigns)
+		a.DetectedCampaigns = len(a.detectedCamps)
+		a.TPRAtBudget, a.FalseAlarmRate, a.MeanTimeToDetection = -1, -1, -1
+		if a.Benign {
+			if a.Sessions > 0 {
+				a.FalseAlarmRate = float64(a.DetectedSessions) / float64(a.Sessions)
+			}
+		} else {
+			if a.scoredSessions > 0 {
+				a.TPRAtBudget = float64(a.flagged) / float64(a.scoredSessions)
+			}
+			if a.DetectedSessions > 0 {
+				a.MeanTimeToDetection = a.ttdSum / float64(a.DetectedSessions)
+			}
+		}
+		out = append(out, a.ScenarioReport)
+	}
+	return out
 }

@@ -46,6 +46,10 @@ type LabeledSession struct {
 	// Kind labels the session's taxonomy leaf: corpus.KindProfile for
 	// normals, or one of the anomaly kinds.
 	Kind string
+	// Campaign groups the sessions of one multi-session scenario unit
+	// (a low-and-slow campaign, a coordinated attack, one flash-crowd
+	// surge); empty for independent sessions.
+	Campaign string
 	// ExpectedAnomalous is the detection label.
 	ExpectedAnomalous bool
 }
@@ -91,12 +95,32 @@ func (t *Traffic) Events() []actionlog.Event {
 	return flattenLabeled(t.EvalSessions())
 }
 
+// flattenLabeled assigns deterministic start times and flattens to one
+// time-ordered event stream. Independent sessions get one slot per
+// minute; sessions sharing a Campaign keep their original relative
+// start offsets, anchored at the first member's slot — so a coordinated
+// attack's members genuinely interleave in the replay stream and a
+// flash-crowd surge arrives packed, exactly as generated.
 func flattenLabeled(labeled []LabeledSession) []actionlog.Event {
 	base := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	type anchor struct {
+		slot  int
+		start time.Time
+	}
+	anchors := make(map[string]anchor)
 	sessions := make([]*actionlog.Session, len(labeled))
 	for i, l := range labeled {
 		s := l.Session.Clone()
-		s.Start = base.Add(time.Duration(i) * time.Minute)
+		if l.Campaign == "" {
+			s.Start = base.Add(time.Duration(i) * time.Minute)
+		} else {
+			a, ok := anchors[l.Campaign]
+			if !ok {
+				a = anchor{slot: i, start: l.Session.Start}
+				anchors[l.Campaign] = a
+			}
+			s.Start = base.Add(time.Duration(a.slot) * time.Minute).Add(l.Session.Start.Sub(a.start))
+		}
 		sessions[i] = s
 	}
 	return actionlog.Flatten(sessions)
@@ -121,8 +145,10 @@ func CorpusTraffic(holdoutPerCluster int) (*Traffic, error) {
 		return nil, err
 	}
 	kinds := make(map[string]string, len(c.Sessions))
+	camps := make(map[string]string, len(c.Sessions))
 	for _, s := range c.Sessions {
 		kinds[s.ID] = s.Kind
+		camps[s.ID] = s.Campaign
 	}
 	tr := &Traffic{Source: "corpus", Vocab: vocab}
 	for ci, group := range c.ByCluster() {
@@ -137,8 +163,18 @@ func CorpusTraffic(holdoutPerCluster int) (*Traffic, error) {
 		}
 	}
 	for _, as := range c.ActionSessions() {
-		if kind := kinds[as.ID]; kind != corpus.KindProfile {
-			tr.Anomalies = append(tr.Anomalies, LabeledSession{Session: as, Kind: kind, ExpectedAnomalous: true})
+		switch kind := kinds[as.ID]; kind {
+		case corpus.KindProfile:
+			// Cluster-grouped above.
+		case corpus.KindFlashCrowd:
+			// Benign surge traffic: evaluation holdout (it counts against
+			// the false-alarm rate and participates in calibration), never
+			// training material.
+			tr.Holdout = append(tr.Holdout, LabeledSession{Session: as, Kind: kind, Campaign: camps[as.ID]})
+		default:
+			tr.Anomalies = append(tr.Anomalies, LabeledSession{
+				Session: as, Kind: kind, Campaign: camps[as.ID], ExpectedAnomalous: true,
+			})
 		}
 	}
 	if len(tr.Anomalies) == 0 {
@@ -163,6 +199,19 @@ type SimConfig struct {
 	// MisuseSessions is the number of scripted misuse sessions, cycling
 	// through every scenario; 0 defaults to 15.
 	MisuseSessions int
+	// MimicrySessions is the number of mimicry attack sessions; 0
+	// defaults to 6, -1 disables.
+	MimicrySessions int
+	// LowSlowCampaigns is the number of low-and-slow campaigns (each a
+	// handful of short sessions); 0 defaults to 2, -1 disables.
+	LowSlowCampaigns int
+	// CoordCampaigns is the number of coordinated multi-user campaigns;
+	// 0 defaults to 2, -1 disables.
+	CoordCampaigns int
+	// FlashCrowds is the number of benign flash-crowd surges (each a
+	// cohort of legitimate sessions packed into seconds, added to the
+	// holdout); 0 defaults to 1, -1 disables.
+	FlashCrowds int
 }
 
 func (c *SimConfig) setDefaults() {
@@ -178,13 +227,27 @@ func (c *SimConfig) setDefaults() {
 	if c.MisuseSessions == 0 {
 		c.MisuseSessions = 15
 	}
+	if c.MimicrySessions == 0 {
+		c.MimicrySessions = 6
+	}
+	if c.LowSlowCampaigns == 0 {
+		c.LowSlowCampaigns = 2
+	}
+	if c.CoordCampaigns == 0 {
+		c.CoordCampaigns = 2
+	}
+	if c.FlashCrowds == 0 {
+		c.FlashCrowds = 1
+	}
 }
 
 // SimTraffic generates a labeled workload with the simulator: a
 // logsim.ScaledConfig corpus for the normal side (ground-truth profile
-// clusters, per-cluster holdout split) plus logsim.RandomSessions and
-// scripted misuse sessions (every logsim.MisuseScenario in turn) as
-// labeled anomalies — scenario replay beyond the fixed embedded corpus.
+// clusters, per-cluster holdout split) plus logsim.RandomSessions,
+// scripted misuse sessions, and every adversarial scenario family —
+// mimicry, low-and-slow and coordinated campaigns as labeled anomalies,
+// benign flash-crowd surges in the holdout — scenario replay beyond the
+// fixed embedded corpus.
 func SimTraffic(cfg SimConfig) (*Traffic, error) {
 	cfg.setDefaults()
 	if cfg.HoldoutFrac <= 0 || cfg.HoldoutFrac >= 1 {
@@ -229,6 +292,39 @@ func SimTraffic(cfg SimConfig) (*Traffic, error) {
 		}
 		s.ID = fmt.Sprintf("%s-%03d", s.ID, i)
 		tr.Anomalies = append(tr.Anomalies, LabeledSession{Session: s, Kind: sc.String(), ExpectedAnomalous: true})
+	}
+	// Adversarial families; each section uses an independent seed offset
+	// so disabling one never reshuffles another. Benign surge members go
+	// to the holdout, everything else to the anomaly split.
+	adversarial := []struct {
+		scenario logsim.MisuseScenario
+		units    int
+		seedOff  int64
+	}{
+		{logsim.MisuseMimicry, cfg.MimicrySessions, 1000},
+		{logsim.MisuseLowAndSlow, cfg.LowSlowCampaigns, 2000},
+		{logsim.MisuseCoordinated, cfg.CoordCampaigns, 3000},
+		{logsim.BenignFlashCrowd, cfg.FlashCrowds, 4000},
+	}
+	for _, a := range adversarial {
+		if a.units < 1 {
+			continue
+		}
+		ss, err := logsim.GenerateScenario(a.scenario, a.units, cfg.Seed+a.seedOff)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range ss {
+			l := LabeledSession{
+				Session: s.Session, Kind: s.Scenario.String(),
+				Campaign: s.Campaign, ExpectedAnomalous: s.Anomalous,
+			}
+			if s.Anomalous {
+				tr.Anomalies = append(tr.Anomalies, l)
+			} else {
+				tr.Holdout = append(tr.Holdout, l)
+			}
+		}
 	}
 	if len(tr.Holdout) == 0 {
 		return nil, fmt.Errorf("harness: simulated corpus left no holdout sessions")

@@ -24,27 +24,51 @@ func TestCorpusTrafficShape(t *testing.T) {
 	if len(tr.Train) != profiles {
 		t.Fatalf("%d training clusters, want %d", len(tr.Train), profiles)
 	}
-	if len(tr.Holdout) != 2*profiles {
-		t.Fatalf("%d holdout sessions, want %d", len(tr.Holdout), 2*profiles)
+	// Holdout: two per cluster plus the benign flash-crowd surge.
+	if len(tr.Holdout) <= 2*profiles {
+		t.Fatalf("%d holdout sessions, want > %d (per-cluster holdout plus flash-crowd)", len(tr.Holdout), 2*profiles)
 	}
 	if len(tr.Anomalies) == 0 {
 		t.Fatal("no anomalies")
 	}
+	flash := 0
 	for _, l := range tr.Holdout {
-		if l.ExpectedAnomalous || l.Kind != corpus.KindProfile {
-			t.Fatalf("holdout session %s labeled %q/%v", l.Session.ID, l.Kind, l.ExpectedAnomalous)
+		if l.ExpectedAnomalous {
+			t.Fatalf("holdout session %s labeled anomalous", l.Session.ID)
+		}
+		switch l.Kind {
+		case corpus.KindProfile:
+		case corpus.KindFlashCrowd:
+			if l.Campaign == "" {
+				t.Fatalf("flash-crowd holdout %s has no campaign tag", l.Session.ID)
+			}
+			flash++
+		default:
+			t.Fatalf("holdout session %s labeled %q", l.Session.ID, l.Kind)
 		}
 	}
+	if flash < 2 {
+		t.Fatalf("%d flash-crowd holdout sessions, want >= 2", flash)
+	}
 	kinds := make(map[string]bool)
+	campaignKinds := make(map[string]bool)
 	for _, l := range tr.Anomalies {
 		if !l.ExpectedAnomalous {
 			t.Fatalf("anomaly %s not labeled anomalous", l.Session.ID)
 		}
 		kinds[l.Kind] = true
+		if l.Campaign != "" {
+			campaignKinds[l.Kind] = true
+		}
 	}
 	for _, k := range corpus.AnomalyKinds() {
 		if !kinds[k] {
 			t.Errorf("anomaly kind %q missing from corpus traffic", k)
+		}
+	}
+	for _, k := range []string{corpus.KindLowAndSlow, corpus.KindCoordinated} {
+		if !campaignKinds[k] {
+			t.Errorf("multi-session kind %q lost its campaign tags", k)
 		}
 	}
 	// The flattened evaluation stream is deterministic.
@@ -84,11 +108,36 @@ func TestSimTrafficShape(t *testing.T) {
 	if kinds[corpus.KindRandom] != 8 {
 		t.Fatalf("%d random anomalies, want 8", kinds[corpus.KindRandom])
 	}
-	for _, sc := range []logsim.MisuseScenario{
-		logsim.MisuseMassDeletion, logsim.MisuseAccountFactory, logsim.MisuseCredentialSweep,
-	} {
+	// Every anomalous scenario in the registry must contribute.
+	for _, sc := range logsim.AllScenarios() {
+		if !sc.Anomalous() {
+			continue
+		}
 		if kinds[sc.String()] == 0 {
 			t.Errorf("misuse scenario %s missing", sc)
+		}
+	}
+	// The benign flash-crowd surge lands in the holdout, campaign-tagged.
+	flash := 0
+	for _, l := range tr.Holdout {
+		if l.Kind == corpus.KindFlashCrowd {
+			if l.ExpectedAnomalous || l.Campaign == "" {
+				t.Fatalf("flash-crowd holdout %s mislabeled: %v %q", l.Session.ID, l.ExpectedAnomalous, l.Campaign)
+			}
+			flash++
+		}
+	}
+	if flash < 2 {
+		t.Errorf("%d flash-crowd holdout sessions, want >= 2", flash)
+	}
+	// Disabling a family with -1 removes it without reshuffling others.
+	none, err := SimTraffic(SimConfig{Seed: 3, Divisor: 150, RandomSessions: 8, MisuseSessions: 6, FlashCrowds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range none.Holdout {
+		if l.Kind == corpus.KindFlashCrowd {
+			t.Fatal("FlashCrowds: -1 still generated surge sessions")
 		}
 	}
 	if _, err := SimTraffic(SimConfig{Seed: 1, HoldoutFrac: 1.5}); err == nil {

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"testing"
+
+	"misusedetect/internal/actionlog"
+	"misusedetect/internal/baseline"
+	"misusedetect/internal/corpus"
+	"misusedetect/internal/logsim"
+)
+
+// TestFlattenLabeledCampaignAnchoring pins the campaign-aware replay
+// stream: same input → byte-identical events, campaign members keep
+// their relative wall-clock offsets (so a coordinated attack's events
+// genuinely interleave), and independent sessions still get one slot
+// per minute.
+func TestFlattenLabeledCampaignAnchoring(t *testing.T) {
+	coord, err := logsim.GenerateScenario(logsim.MisuseCoordinated, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labeled []LabeledSession
+	for _, s := range coord {
+		labeled = append(labeled, LabeledSession{
+			Session: s.Session, Kind: s.Scenario.String(),
+			Campaign: s.Campaign, ExpectedAnomalous: true,
+		})
+	}
+	// Bracket the campaign with independent sessions.
+	solo, _, err := logsim.MimicrySession(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled = append([]LabeledSession{{Session: solo, Kind: corpus.KindMimicry, ExpectedAnomalous: true}}, labeled...)
+
+	a, b := flattenLabeled(labeled), flattenLabeled(labeled)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("stream lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across derivations", i)
+		}
+	}
+	// The coordinated members (20s apart, ~1 action/s) must interleave:
+	// somewhere in the stream two adjacent events belong to different
+	// campaign members.
+	members := make(map[string]bool)
+	for _, s := range coord {
+		members[s.Session.ID] = true
+	}
+	interleaved := false
+	for i := 1; i < len(a); i++ {
+		if members[a[i].SessionID] && members[a[i-1].SessionID] && a[i].SessionID != a[i-1].SessionID {
+			interleaved = true
+			break
+		}
+	}
+	if !interleaved {
+		t.Fatal("coordinated campaign members did not interleave in the replay stream")
+	}
+	// Campaign members must NOT be re-spaced a minute apart: the whole
+	// campaign still starts at its anchor slot, so its first event sits
+	// inside the stream, not appended at the end.
+	if last := a[len(a)-1]; !members[last.SessionID] && len(coord) > 1 {
+		t.Logf("stream tail belongs to %s", last.SessionID)
+	}
+}
+
+// TestEvalCorpusScenarioBreakdown pins the per-attack-class eval
+// numbers for the ngram backend on the embedded corpus (loose lower
+// bounds, like the AUC anchors): the loud scripted scenarios and
+// mimicry must be caught at the FPR-budget operating point, the
+// multi-session campaigns must be exposed at campaign granularity, and
+// the benign flash-crowd class must stay quiet.
+func TestEvalCorpusScenarioBreakdown(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Eval(tr, EvalOptions{
+		Backends: []string{baseline.BackendNGram},
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := report.Backends[0]
+	rows := make(map[string]ScenarioReport, len(br.Scenarios))
+	for _, s := range br.Scenarios {
+		rows[s.Scenario] = s
+		t.Logf("scenario %-16s benign=%v sessions=%d campaigns=%d tpr=%.3f far=%.3f detected=%d/%d camps=%d/%d ttd=%.1f",
+			s.Scenario, s.Benign, s.Sessions, s.Campaigns, s.TPRAtBudget, s.FalseAlarmRate,
+			s.DetectedSessions, s.Sessions, s.DetectedCampaigns, s.Campaigns, s.MeanTimeToDetection)
+	}
+	// Every scenario class must have a row: all 7 registry scenarios
+	// plus the random anomaly class.
+	for _, sc := range logsim.AllScenarios() {
+		if _, ok := rows[sc.String()]; !ok {
+			t.Errorf("scenario %s missing from the breakdown", sc)
+		}
+	}
+	if _, ok := rows[corpus.KindRandom]; !ok {
+		t.Error("random anomaly class missing from the breakdown")
+	}
+	for name, row := range rows {
+		if row.Sessions < 2 {
+			t.Errorf("%s has %d sessions, want >= 2", name, row.Sessions)
+		}
+		if row.Benign != (name == corpus.KindFlashCrowd) {
+			t.Errorf("%s benign=%v", name, row.Benign)
+		}
+		if row.Benign {
+			if row.TPRAtBudget != -1 {
+				t.Errorf("%s TPR %v, want -1 for a benign class", name, row.TPRAtBudget)
+			}
+			if row.FalseAlarmRate < 0 {
+				t.Errorf("%s has no false-alarm rate", name)
+			}
+		} else {
+			if row.FalseAlarmRate != -1 {
+				t.Errorf("%s false-alarm rate %v, want -1 for an anomalous class", name, row.FalseAlarmRate)
+			}
+			if row.TPRAtBudget < 0 || row.TPRAtBudget > 1 {
+				t.Errorf("%s TPR %v out of range", name, row.TPRAtBudget)
+			}
+		}
+	}
+	// Campaign grouping: the multi-session kinds carry their units.
+	for _, name := range []string{corpus.KindLowAndSlow, corpus.KindCoordinated} {
+		if rows[name].Campaigns < 2 {
+			t.Errorf("%s has %d campaigns, want >= 2", name, rows[name].Campaigns)
+		}
+	}
+	if rows[corpus.KindFlashCrowd].Campaigns < 1 {
+		t.Errorf("flash-crowd has %d campaigns, want >= 1", rows[corpus.KindFlashCrowd].Campaigns)
+	}
+
+	// Anchors: loose lower bounds on what ngram measurably achieves on
+	// the embedded corpus (random 1.00, account-factory 1.00,
+	// coordinated 0.33 at the 5% budget). Mass-deletion and
+	// credential-sweep are documented blind spots of per-session
+	// likelihood scoring — their action mix is exactly the deprovisioner
+	// and helpdesk profiles, so they ride above the threshold (measured
+	// 0.00); mimicry and low-and-slow are evasive by construction
+	// (measured 0.00 and 0.08). Their floors are 0 here: the row must
+	// exist with valid numbers so model-quality work can raise the floor
+	// the day a backend actually catches them.
+	floors := map[string]float64{
+		corpus.KindRandom:          0.75,
+		corpus.KindAccountFactory:  0.75,
+		corpus.KindCoordinated:     0.15,
+		corpus.KindMassDeletion:    0,
+		corpus.KindCredentialSweep: 0,
+		corpus.KindMimicry:         0,
+		corpus.KindLowAndSlow:      0,
+	}
+	for name, floor := range floors {
+		if rows[name].TPRAtBudget < floor {
+			t.Errorf("%s TPR@budget %.3f < %.2f", name, rows[name].TPRAtBudget, floor)
+		}
+	}
+	// The campaign classes are exposed at campaign granularity even when
+	// per-session recall is weak: one flagged member burns the campaign.
+	for _, name := range []string{corpus.KindLowAndSlow, corpus.KindCoordinated} {
+		row := rows[name]
+		if row.DetectedCampaigns < 1 {
+			t.Errorf("%s detected %d of %d campaigns, want >= 1", name, row.DetectedCampaigns, row.Campaigns)
+		}
+	}
+	// The benign surge must stay under the false-alarm ceiling (measured
+	// 0.00 at the calibrated floors).
+	if far := rows[corpus.KindFlashCrowd].FalseAlarmRate; far > 0.15 {
+		t.Errorf("flash-crowd false-alarm rate %.3f > 0.15", far)
+	}
+	// Detected classes report a positive time-to-detection.
+	for name, row := range rows {
+		if !row.Benign && row.DetectedSessions > 0 && row.MeanTimeToDetection <= 0 {
+			t.Errorf("%s detected %d sessions but TTD %v", name, row.DetectedSessions, row.MeanTimeToDetection)
+		}
+	}
+}
+
+// TestMimicryFillerAboveFloor is the "high-likelihood by construction"
+// property: the benign filler subsequences of mimicry sessions — the
+// same routine runs without the hidden intent — scored alone against
+// the trained profile models, land above the calibrated alarm floor.
+// If this fails, the scenario has drifted loud and its detection
+// numbers are meaningless.
+func TestMimicryFillerAboveFloor(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := EvalOptions{Backends: []string{baseline.BackendNGram}, Seed: 11}
+	opt.setDefaults()
+	det, err := trainDetector(tr, opt, baseline.BackendNGram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate per-cluster alarm floors exactly like EvalDetector does.
+	validation := make([]*actionlog.Session, len(tr.Holdout))
+	for i, l := range tr.Holdout {
+		validation[i] = l.Session
+	}
+	calibrated, err := det.CalibrateMonitorPerCluster(opt.Monitor, validation, opt.FPRBudget, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fillers = 25
+	above := 0
+	for seed := int64(0); seed < fillers; seed++ {
+		_, filler, err := logsim.MimicrySession(5, 1000+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, cluster, err := scoreSession(det, opt.Monitor, filler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cluster < 0 {
+			t.Fatalf("seed %d: filler too short to score", seed)
+		}
+		floor := calibrated.LikelihoodFloor
+		if cluster < len(calibrated.ClusterFloors) {
+			floor = calibrated.ClusterFloors[cluster]
+		}
+		if score > floor {
+			above++
+		} else {
+			t.Logf("seed %d: filler scored %.5f at floor %.5f (cluster %d)", seed, score, floor, cluster)
+		}
+	}
+	// Seeds are fixed, so this is deterministic; a small margin absorbs
+	// profiles whose noise happens to dip near their calibrated floor.
+	if above < fillers*9/10 {
+		t.Errorf("only %d of %d mimicry fillers scored above the calibrated floor — the scenario is loud, not evasive", above, fillers)
+	}
+}

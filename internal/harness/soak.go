@@ -52,6 +52,13 @@ type SoakOptions struct {
 	// report gate).
 	MaxSessions int
 	MemBudget   int64
+	// FlashSessions sizes an optional benign flash-crowd surge driven at
+	// the engine after the fill census: that many brand-new session IDs
+	// play benign holdout scripts in one burst. 0 disables the phase.
+	// With MaxSessions equal to the resident census the whole surge is
+	// refused at admission — the deliberate-overload drill behind the
+	// flash shed gates (sheds must occur, alarms must not).
+	FlashSessions int
 	// Backend, Hidden, Epochs, Seed select and seed the model; defaults
 	// lstm / 16 / 2 / 0.
 	Backend        string
@@ -135,6 +142,18 @@ type SoakReport struct {
 	TouchSessions     int         `json:"touch_sessions"`
 	TouchRehydrations uint64      `json:"touch_rehydrations"`
 	Touch             LatencyDist `json:"touch"`
+	// Flash phase (optional): a benign surge of FlashSessions brand-new
+	// sessions thrown at the already-full engine. Every Flash* counter
+	// is a delta across the surge alone, so a CI gate can assert the
+	// cap held (sheds occurred) while no alarms were raised by — or
+	// attributed to — the shedding.
+	FlashSessions      int         `json:"flash_sessions,omitempty"`
+	FlashSeconds       float64     `json:"flash_seconds,omitempty"`
+	Flash              LatencyDist `json:"flash"`
+	FlashShedSessions  uint64      `json:"flash_shed_sessions,omitempty"`
+	FlashShedEvents    uint64      `json:"flash_shed_events,omitempty"`
+	FlashShedEvictions uint64      `json:"flash_shed_evictions,omitempty"`
+	FlashAlarms        uint64      `json:"flash_alarms,omitempty"`
 	// Heap figures, all GC-settled (see heapSettled): the baseline
 	// before the engine existed, the live heap with the full resident
 	// set, and the per-session cost of the difference.
@@ -190,6 +209,28 @@ func soakActionPool(tr *Traffic, actions int) ([][]string, error) {
 	}
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("harness: soak needs a traffic evaluation split with events, got none")
+	}
+	return pool, nil
+}
+
+// soakBenignPool extracts scripts from the benign holdout split only:
+// the flash-crowd surge must be made of normal traffic, so any alarm
+// raised during the surge is a false alarm by construction, not a
+// caught anomaly.
+func soakBenignPool(tr *Traffic, actions int) ([][]string, error) {
+	var pool [][]string
+	for _, l := range tr.Holdout {
+		if l.ExpectedAnomalous || l.Session.Len() == 0 {
+			continue
+		}
+		script := make([]string, actions)
+		for k := 0; k < actions; k++ {
+			script[k] = l.Session.Actions[k%l.Session.Len()]
+		}
+		pool = append(pool, script)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("harness: soak flash surge needs benign holdout sessions, got none")
 	}
 	return pool, nil
 }
@@ -313,6 +354,66 @@ func BenchSoak(tr *Traffic, opt SoakOptions) (*SoakReport, error) {
 	report.HeapLiveBytes = heapSettled()
 	if report.HeapLiveBytes > heapBaseline && opt.Sessions > 0 {
 		report.HeapPerSessionBytes = float64(report.HeapLiveBytes-heapBaseline) / float64(opt.Sessions)
+	}
+
+	// Flash: a benign surge of brand-new sessions in one burst against
+	// the already-full engine. With MaxSessions pinned at the resident
+	// census the admission gate refuses every newcomer — deterministic
+	// sheds, no scoring, no alarms — while the resident set keeps
+	// serving (the touch phase below proves it). The Flash* counters are
+	// deltas across the surge alone.
+	if opt.FlashSessions > 0 {
+		benign, err := soakBenignPool(tr, opt.Actions)
+		if err != nil {
+			return nil, err
+		}
+		before := st
+		var flashLat []time.Duration
+		fbatch := make([]actionlog.Event, 0, opt.SubmitBatch)
+		fflush := func() error {
+			if len(fbatch) == 0 {
+				return nil
+			}
+			w0 := time.Now()
+			if err := engine.SubmitBatch(ctx, fbatch, nil); err != nil {
+				return err
+			}
+			flashLat = append(flashLat, time.Since(w0))
+			fbatch = fbatch[:0]
+			return nil
+		}
+		ft0 := time.Now()
+		for t := 0; t < opt.Actions; t++ {
+			for j := 0; j < opt.FlashSessions; j++ {
+				id := fmt.Sprintf("flash-%08d", j)
+				fbatch = append(fbatch, actionlog.Event{
+					Time:      base.Add(time.Duration(seq) * time.Millisecond),
+					User:      id,
+					SessionID: id,
+					Action:    benign[j%len(benign)][t],
+				})
+				seq++
+				if len(fbatch) == opt.SubmitBatch {
+					if err := fflush(); err != nil {
+						return nil, fmt.Errorf("harness: soak flash: %w", err)
+					}
+				}
+			}
+		}
+		if err := fflush(); err != nil {
+			return nil, fmt.Errorf("harness: soak flash: %w", err)
+		}
+		if err := engine.Drain(ctx); err != nil {
+			return nil, fmt.Errorf("harness: soak flash drain: %w", err)
+		}
+		after := engine.Stats()
+		report.FlashSessions = opt.FlashSessions
+		report.FlashSeconds = time.Since(ft0).Seconds()
+		report.Flash = percentiles(flashLat)
+		report.FlashShedSessions = after.ShedSessions - before.ShedSessions
+		report.FlashShedEvents = after.ShedEvents - before.ShedEvents
+		report.FlashShedEvictions = after.ShedEvictions - before.ShedEvictions
+		report.FlashAlarms = after.AlarmsRaised - before.AlarmsRaised
 	}
 
 	// Touch: one extra event into an even sample of the (compacted)

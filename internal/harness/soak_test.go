@@ -39,3 +39,60 @@ func TestBenchSoakSmoke(t *testing.T) {
 		t.Fatalf("fill figures missing: %+v", rep)
 	}
 }
+
+// TestBenchSoakFlashSmoke points a benign flash-crowd surge at an
+// engine capped exactly at its resident census: the fill completes
+// shed-free, every surge session is refused at admission (sheds occur,
+// deterministically), no alarm is raised by or attributed to the
+// shedding, and the residents keep serving afterwards.
+func TestBenchSoakFlashSmoke(t *testing.T) {
+	tr, err := CorpusTraffic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BenchSoak(tr, SoakOptions{
+		Sessions:      600,
+		Cohort:        128,
+		Epochs:        1,
+		MaxSessions:   600,
+		FlashSessions: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fill itself fits the cap exactly: the full census is resident
+	// and nothing was shed before the surge.
+	if rep.SessionsResident != 600 {
+		t.Fatalf("resident %d sessions, want the full census of 600", rep.SessionsResident)
+	}
+	if fillShed := rep.ShedSessions - rep.FlashShedSessions; fillShed != 0 {
+		t.Fatalf("fill shed %d sessions before the surge, want 0", fillShed)
+	}
+	// The surge itself is refused wholesale at the admission gate.
+	if rep.FlashSessions != 300 {
+		t.Fatalf("flash phase reports %d sessions, want 300", rep.FlashSessions)
+	}
+	if rep.FlashShedSessions == 0 {
+		t.Fatalf("surge was admitted (%d shed sessions), want the cap to refuse it", rep.FlashShedSessions)
+	}
+	// Refusal is per event (an unadmitted session re-attempts admission
+	// on every arrival): all 300×8 surge events must be shed.
+	if want := uint64(300 * 8); rep.FlashShedEvents != want {
+		t.Fatalf("shed %d surge events, want every one of %d refused", rep.FlashShedEvents, want)
+	}
+	// Refused sessions are never scored: zero alarms during the surge,
+	// and zero alarms attributed to shedding anywhere in the run.
+	if rep.FlashAlarms != 0 {
+		t.Fatalf("surge raised %d alarms, want 0 (benign traffic, never scored)", rep.FlashAlarms)
+	}
+	if rep.AlarmsShed != 0 {
+		t.Fatalf("%d alarms attributed to shedding, want 0", rep.AlarmsShed)
+	}
+	if rep.FlashSeconds <= 0 {
+		t.Fatalf("flash wall time missing: %+v", rep)
+	}
+	// Residents still serve after the surge: the touch phase rehydrates.
+	if rep.TouchSessions == 0 || rep.TouchRehydrations != uint64(rep.TouchSessions) {
+		t.Fatalf("touched %d sessions but rehydrated %d after the surge", rep.TouchSessions, rep.TouchRehydrations)
+	}
+}

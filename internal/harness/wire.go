@@ -159,7 +159,8 @@ func saltLabeled(labeled []LabeledSession) []LabeledSession {
 	for i, l := range labeled {
 		s := l.Session.Clone()
 		s.ID = fmt.Sprintf("%s.%x", s.ID, salt)
-		out[i] = LabeledSession{Session: s, Kind: l.Kind, ExpectedAnomalous: l.ExpectedAnomalous}
+		out[i] = l
+		out[i].Session = s
 	}
 	return out
 }

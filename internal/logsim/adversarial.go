@@ -1,0 +1,310 @@
+package logsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"misusedetect/internal/actionlog"
+)
+
+// This file grows the simulator beyond the three loud scripted misuse
+// scenarios: attack families that actively try to evade a sequence
+// detector (mimicry, low-and-slow, coordinated campaigns) plus the
+// benign flash-crowd control class that stresses serving capacity and
+// must NOT alarm. Every family is a first-class MisuseScenario with a
+// deterministic, seeded generator reachable through GenerateScenario,
+// so the harness can score detection quality per attack class.
+
+// ScenarioSession is one generated session of a scenario family together
+// with its ground-truth labels: the scenario tag, the campaign the
+// session belongs to (multi-session families only), and whether this
+// particular session is anomalous — flash-crowd surge members are
+// legitimate traffic and carry Anomalous == false.
+type ScenarioSession struct {
+	Session  *actionlog.Session
+	Scenario MisuseScenario
+	// Campaign groups the sessions of one multi-session unit (a
+	// low-and-slow campaign, a coordinated attack, one flash-crowd
+	// surge); empty for single-session scenarios.
+	Campaign string
+	// Anomalous is the per-session detection label.
+	Anomalous bool
+}
+
+// GenerateScenario realizes units of the scenario deterministically in
+// seed. A unit is one session for the single-session families
+// (mass-deletion, account-factory, credential-sweep, mimicry) and one
+// whole campaign or surge for the multi-session families (low-and-slow,
+// coordinated, flash-crowd). Sessions are returned in wall-clock
+// emission order: campaign members carry Start times that interleave
+// them exactly as the attack would hit a live portal.
+func GenerateScenario(sc MisuseScenario, units int, seed int64) ([]ScenarioSession, error) {
+	if units < 1 {
+		return nil, fmt.Errorf("logsim: scenario units must be >= 1, got %d", units)
+	}
+	var out []ScenarioSession
+	for u := 0; u < units; u++ {
+		unitSeed := seed + int64(u)
+		switch sc {
+		case MisuseMassDeletion, MisuseAccountFactory, MisuseCredentialSweep:
+			rng := rand.New(rand.NewSource(unitSeed))
+			s, err := MisuseSession(sc, 3+rng.Intn(5), unitSeed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScenarioSession{Session: s, Scenario: sc, Anomalous: true})
+		case MisuseMimicry:
+			full, _, err := MimicrySession(5, unitSeed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScenarioSession{Session: full, Scenario: sc, Anomalous: true})
+		case MisuseLowAndSlow:
+			campaign, err := lowAndSlowCampaign(u, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, campaign...)
+		case MisuseCoordinated:
+			campaign, err := coordinatedCampaign(u, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, campaign...)
+		case BenignFlashCrowd:
+			surge, err := flashCrowdSurge(u, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, surge...)
+		default:
+			return nil, fmt.Errorf("logsim: unknown scenario %v", sc)
+		}
+	}
+	return out, nil
+}
+
+// intentActions are the high-signal modification actions an evading
+// insider still has to perform: the whole point of mimicry and
+// low-and-slow is to bury these inside traffic that otherwise matches a
+// legitimate behavior profile.
+var intentActions = []string{
+	"ActionDeleteUser", "ActionResetPwdUnlock", "ActionUnLockUser",
+	"ActionCreateUser",
+}
+
+// MimicrySession generates one mimicry attack: reps routine runs sampled
+// from a randomly chosen victim behavior profile — high-likelihood by
+// construction, because the profile models are trained on exactly these
+// routines — with single misuse actions spliced sparsely at routine
+// boundaries. It returns the full session and the benign filler alone
+// (the same routine run without the hidden intent), so tests can verify
+// the camouflage really scores like normal traffic.
+func MimicrySession(reps int, seed int64) (full, filler *actionlog.Session, err error) {
+	if reps < 2 {
+		return nil, nil, fmt.Errorf("logsim: mimicry reps must be >= 2, got %d", reps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	profiles := DefaultProfiles()
+	victim := &profiles[rng.Intn(len(profiles))]
+	var totalWeight float64
+	for _, r := range victim.Routines {
+		totalWeight += r.Weight
+	}
+	intent := intentActions[rng.Intn(len(intentActions))]
+	var fullActions, fillerActions []string
+	injected := 0
+	for g := 0; g < reps; g++ {
+		r := sampleRoutine(victim.Routines, totalWeight, rng)
+		for _, a := range r.Actions {
+			fullActions = append(fullActions, a)
+			fillerActions = append(fillerActions, a)
+			if rng.Float64() < victim.NoiseRate {
+				n := noiseActions[rng.Intn(len(noiseActions))]
+				fullActions = append(fullActions, n)
+				fillerActions = append(fillerActions, n)
+			}
+		}
+		// Splice one intent action at roughly every third routine
+		// boundary; never at the very end, so the session closes on
+		// plausible traffic.
+		if g < reps-1 && rng.Float64() < 0.34 {
+			fullActions = append(fullActions, intent)
+			injected++
+		}
+	}
+	if injected == 0 {
+		// The attack must actually happen: force one intent action at the
+		// penultimate routine boundary.
+		at := len(fullActions) - len(victim.Routines[0].Actions)
+		if at < 1 {
+			at = 1
+		}
+		fullActions = append(fullActions[:at], append([]string{intent}, fullActions[at:]...)...)
+	}
+	start := time.Date(2019, 2, 3, 9, 0, 0, 0, time.UTC).Add(time.Duration(seed%1000) * time.Minute)
+	full = &actionlog.Session{
+		ID:      fmt.Sprintf("mimicry-%d", seed),
+		User:    "insider",
+		Start:   start,
+		Actions: fullActions,
+		Cluster: -1,
+	}
+	filler = &actionlog.Session{
+		ID:      fmt.Sprintf("mimicry-filler-%d", seed),
+		User:    "insider",
+		Start:   start,
+		Actions: fillerActions,
+		Cluster: victim.ID,
+	}
+	return full, filler, nil
+}
+
+// lowAndSlowCampaign spreads one misuse campaign across many short,
+// individually-innocuous sessions by the same insider: each session is
+// one or two legitimate routines from a victim profile with a single
+// intent action buried inside, and consecutive sessions are spaced tens
+// of minutes apart so no per-session statistic sticks out.
+func lowAndSlowCampaign(unit int, seed int64) ([]ScenarioSession, error) {
+	rng := rand.New(rand.NewSource(seed + int64(unit)*7919))
+	profiles := DefaultProfiles()
+	victim := &profiles[rng.Intn(len(profiles))]
+	var totalWeight float64
+	for _, r := range victim.Routines {
+		totalWeight += r.Weight
+	}
+	intent := intentActions[rng.Intn(len(intentActions))]
+	campaign := fmt.Sprintf("lowslow-%d-%02d", seed, unit)
+	user := fmt.Sprintf("insider-%s", campaign)
+	sessions := 6 + rng.Intn(4)
+	base := time.Date(2019, 2, 4, 8, 0, 0, 0, time.UTC).Add(time.Duration(unit) * 24 * time.Hour)
+	out := make([]ScenarioSession, 0, sessions)
+	for k := 0; k < sessions; k++ {
+		var actions []string
+		routines := 1 + rng.Intn(2)
+		for g := 0; g < routines; g++ {
+			r := sampleRoutine(victim.Routines, totalWeight, rng)
+			actions = append(actions, r.Actions...)
+		}
+		// One intent action per session, never the first action: the
+		// session always opens looking legitimate.
+		at := 1 + rng.Intn(len(actions))
+		actions = append(actions[:at], append([]string{intent}, actions[at:]...)...)
+		out = append(out, ScenarioSession{
+			Session: &actionlog.Session{
+				ID:      fmt.Sprintf("%s-s%02d", campaign, k),
+				User:    user,
+				Start:   base.Add(time.Duration(k) * 37 * time.Minute),
+				Actions: actions,
+				Cluster: -1,
+			},
+			Scenario:  MisuseLowAndSlow,
+			Campaign:  campaign,
+			Anomalous: true,
+		})
+	}
+	return out, nil
+}
+
+// coordinationStages are the complementary slices of one coordinated
+// attack on a set of target accounts: recon, credential reset, unlock,
+// and purge. Each member session executes exactly one stage across all
+// targets — individually each slice resembles a legitimate specialist
+// profile (browsing, helpdesk, unlocking, deprovisioning), and only the
+// conjunction is the attack.
+var coordinationStages = [][]string{
+	{"ActionSearchUsr", "ActionDisplayUser"},
+	{"ActionSearchUsr", "ActionResetPwd"},
+	{"ActionSearchUsr", "ActionUnLockUser"},
+	{"ActionSearchUsr", "ActionDeleteUser"},
+}
+
+// coordinatedCampaign generates one multi-user campaign: members staggered
+// seconds apart over the same wall-clock window, so their events
+// interleave in any time-ordered replay exactly as a live portal would
+// record them.
+func coordinatedCampaign(unit int, seed int64) ([]ScenarioSession, error) {
+	rng := rand.New(rand.NewSource(seed + int64(unit)*104729))
+	members := 3 + rng.Intn(2)
+	targets := 6 + rng.Intn(5)
+	campaign := fmt.Sprintf("coord-%d-%02d", seed, unit)
+	base := time.Date(2019, 2, 5, 14, 0, 0, 0, time.UTC).Add(time.Duration(unit) * time.Hour)
+	out := make([]ScenarioSession, 0, members)
+	for m := 0; m < members; m++ {
+		stage := coordinationStages[m%len(coordinationStages)]
+		var actions []string
+		for tgt := 0; tgt < targets; tgt++ {
+			actions = append(actions, stage...)
+			if rng.Float64() < 0.2 {
+				actions = append(actions, noiseActions[rng.Intn(len(noiseActions))])
+			}
+		}
+		out = append(out, ScenarioSession{
+			Session: &actionlog.Session{
+				ID:      fmt.Sprintf("%s-u%02d", campaign, m),
+				User:    fmt.Sprintf("%s-u%02d", campaign, m),
+				Start:   base.Add(time.Duration(m) * 20 * time.Second),
+				Actions: actions,
+				Cluster: -1,
+			},
+			Scenario:  MisuseCoordinated,
+			Campaign:  campaign,
+			Anomalous: true,
+		})
+	}
+	return out, nil
+}
+
+// flashCrowdSurge generates one legitimate-traffic surge: a cohort of
+// sessions sampled from the normal behavior profiles by popularity, all
+// starting within seconds of each other. The surge stresses admission
+// control and load shedding, and a detector that alarms on it is broken
+// — the members are labeled benign.
+func flashCrowdSurge(unit int, seed int64) ([]ScenarioSession, error) {
+	rng := rand.New(rand.NewSource(seed + int64(unit)*15485863))
+	profiles := DefaultProfiles()
+	var totalPop float64
+	for _, p := range profiles {
+		totalPop += p.Popularity
+	}
+	cohort := 14 + rng.Intn(6)
+	campaign := fmt.Sprintf("flash-%d-%02d", seed, unit)
+	base := time.Date(2019, 2, 6, 12, 0, 0, 0, time.UTC).Add(time.Duration(unit) * 10 * time.Minute)
+	out := make([]ScenarioSession, 0, cohort)
+	for j := 0; j < cohort; j++ {
+		p := &profiles[sampleProfile(profiles, totalPop, rng)]
+		var totalWeight float64
+		for _, r := range p.Routines {
+			totalWeight += r.Weight
+		}
+		// Routine-by-routine until a modest budget: surge sessions are
+		// short and bursty, and always end on a routine boundary so the
+		// traffic stays profile-shaped.
+		var actions []string
+		for len(actions) < 6 {
+			r := sampleRoutine(p.Routines, totalWeight, rng)
+			for _, a := range r.Actions {
+				actions = append(actions, a)
+				if rng.Float64() < p.NoiseRate {
+					actions = append(actions, noiseActions[rng.Intn(len(noiseActions))])
+				}
+			}
+		}
+		out = append(out, ScenarioSession{
+			Session: &actionlog.Session{
+				ID:      fmt.Sprintf("%s-%03d", campaign, j),
+				User:    fmt.Sprintf("%s-op%03d", campaign, j),
+				Start:   base.Add(time.Duration(j) * 250 * time.Millisecond),
+				Actions: actions,
+				Cluster: p.ID,
+			},
+			Scenario:  BenignFlashCrowd,
+			Campaign:  campaign,
+			Anomalous: false,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Session.Start.Before(out[j].Session.Start) })
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package logsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"misusedetect/internal/actionlog"
+)
+
+// fingerprintScenario flattens a generated stream into one string: IDs,
+// users, start times, campaign tags, labels, and every action, in
+// emission order. Byte-identical fingerprints mean byte-identical
+// streams, including the interleaving order of campaign members.
+func fingerprintScenario(ss []ScenarioSession) string {
+	var b strings.Builder
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%s|%s|%s|%s|%v|%d|%s\n",
+			s.Session.ID, s.Session.User, s.Session.Start.Format("2006-01-02T15:04:05.000"),
+			s.Campaign, s.Anomalous, s.Scenario, strings.Join(s.Session.Actions, ","))
+	}
+	return b.String()
+}
+
+// TestAllScenariosRegistry asserts the registry, String(), and the
+// generator cover every enum value in both directions: every registered
+// scenario has a distinct name and generates, and no enum value between
+// the first and last registered scenario is missing from the registry.
+func TestAllScenariosRegistry(t *testing.T) {
+	all := AllScenarios()
+	if len(all) != 7 {
+		t.Fatalf("registry has %d scenarios, want 7 (3 loud + mimicry, low-and-slow, coordinated, flash-crowd)", len(all))
+	}
+	names := map[string]MisuseScenario{}
+	registered := map[MisuseScenario]bool{}
+	for _, sc := range all {
+		registered[sc] = true
+		name := sc.String()
+		if strings.HasPrefix(name, "misuse(") {
+			t.Errorf("scenario %d has no String() case: %q", int(sc), name)
+		}
+		if prev, dup := names[name]; dup {
+			t.Errorf("scenarios %d and %d share the name %q", int(prev), int(sc), name)
+		}
+		names[name] = sc
+		ss, err := GenerateScenario(sc, 1, 17)
+		if err != nil {
+			t.Errorf("registered scenario %v does not generate: %v", sc, err)
+		} else if len(ss) == 0 {
+			t.Errorf("registered scenario %v generated no sessions", sc)
+		}
+	}
+	// The enum is dense starting at 1: any value the registry skips
+	// would be a silently-dropped scenario.
+	for v := MisuseMassDeletion; v <= BenignFlashCrowd; v++ {
+		if !registered[v] {
+			t.Errorf("enum value %d missing from AllScenarios()", int(v))
+		}
+	}
+	// Only flash-crowd is benign.
+	for _, sc := range all {
+		if got, want := sc.Anomalous(), sc != BenignFlashCrowd; got != want {
+			t.Errorf("%v.Anomalous() = %v, want %v", sc, got, want)
+		}
+	}
+	// GenerateScenario must reject values outside the registry.
+	if _, err := GenerateScenario(MisuseScenario(99), 1, 0); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+	if _, err := GenerateScenario(MisuseMimicry, 0, 0); err == nil {
+		t.Error("zero units must fail")
+	}
+}
+
+// TestGenerateScenarioDeterministic: same seed → byte-identical session
+// stream for every family, and different seeds actually vary.
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		a, err := GenerateScenario(sc, 3, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		b, err := GenerateScenario(sc, 3, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if fingerprintScenario(a) != fingerprintScenario(b) {
+			t.Errorf("%v: same seed produced different streams", sc)
+		}
+		c, err := GenerateScenario(sc, 3, 43)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if fingerprintScenario(a) == fingerprintScenario(c) {
+			t.Errorf("%v: different seeds produced identical streams", sc)
+		}
+	}
+}
+
+// TestGenerateScenarioShapes checks the structural promises each family
+// makes: labels, campaign grouping, vocabulary membership, and
+// wall-clock emission order.
+func TestGenerateScenarioShapes(t *testing.T) {
+	vocab, err := actionlog.NewVocabulary(ActionNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range AllScenarios() {
+		ss, err := GenerateScenario(sc, 2, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		campaigns := map[string]int{}
+		for i, s := range ss {
+			if s.Scenario != sc {
+				t.Errorf("%v: session %s tagged %v", sc, s.Session.ID, s.Scenario)
+			}
+			if s.Anomalous != sc.Anomalous() {
+				t.Errorf("%v: session %s labeled %v", sc, s.Session.ID, s.Anomalous)
+			}
+			if s.Session.Len() < 2 {
+				t.Errorf("%v: session %s too short to score: %d actions", sc, s.Session.ID, s.Session.Len())
+			}
+			if _, err := vocab.Encode(s.Session); err != nil {
+				t.Errorf("%v: session %s not encodable: %v", sc, s.Session.ID, err)
+			}
+			if s.Campaign != "" {
+				campaigns[s.Campaign]++
+			}
+			if i > 0 && ss[i].Campaign == ss[i-1].Campaign && ss[i].Session.Start.Before(ss[i-1].Session.Start) {
+				t.Errorf("%v: sessions %d,%d out of wall-clock order within campaign", sc, i-1, i)
+			}
+		}
+		switch sc {
+		case MisuseLowAndSlow, MisuseCoordinated, BenignFlashCrowd:
+			if len(campaigns) != 2 {
+				t.Errorf("%v: 2 units produced %d campaigns, want 2", sc, len(campaigns))
+			}
+			for camp, n := range campaigns {
+				if n < 3 {
+					t.Errorf("%v: campaign %s has only %d sessions", sc, camp, n)
+				}
+			}
+		default:
+			if len(campaigns) != 0 {
+				t.Errorf("%v: single-session scenario carries campaign tags %v", sc, campaigns)
+			}
+			if len(ss) != 2 {
+				t.Errorf("%v: 2 units produced %d sessions, want 2", sc, len(ss))
+			}
+		}
+	}
+}
+
+// TestLowAndSlowInnocuous: every low-and-slow member is short and
+// carries exactly one intent action — the campaign only looks like an
+// attack in aggregate.
+func TestLowAndSlowInnocuous(t *testing.T) {
+	intents := map[string]bool{}
+	for _, a := range intentActions {
+		intents[a] = true
+	}
+	ss, err := GenerateScenario(MisuseLowAndSlow, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		hits := 0
+		for _, a := range s.Session.Actions {
+			if intents[a] {
+				hits++
+			}
+		}
+		if hits < 1 {
+			t.Errorf("session %s carries no intent action", s.Session.ID)
+		}
+		if s.Session.Len() > 20 {
+			t.Errorf("session %s too long to be innocuous: %d actions", s.Session.ID, s.Session.Len())
+		}
+	}
+}
+
+// TestCoordinatedInterleaving: campaign members are distinct users whose
+// start times sit within the same narrow window, so a time-ordered
+// replay interleaves their events.
+func TestCoordinatedInterleaving(t *testing.T) {
+	ss, err := GenerateScenario(MisuseCoordinated, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) < 3 {
+		t.Fatalf("coordinated campaign has %d members, want >= 3", len(ss))
+	}
+	users := map[string]bool{}
+	for _, s := range ss {
+		users[s.Session.User] = true
+	}
+	if len(users) != len(ss) {
+		t.Fatalf("coordinated members share users: %d users for %d sessions", len(users), len(ss))
+	}
+	window := ss[len(ss)-1].Session.Start.Sub(ss[0].Session.Start)
+	if window.Minutes() > 5 {
+		t.Fatalf("members spread over %v, want a tight window that forces interleaving", window)
+	}
+	// Complementary slices: the stage actions across members must
+	// differ (recon vs reset vs unlock vs purge).
+	stages := map[string]bool{}
+	for _, s := range ss {
+		stages[s.Session.Actions[1]] = true
+	}
+	if len(stages) < 3 {
+		t.Fatalf("members execute only %d distinct stages", len(stages))
+	}
+}
+
+// TestMimicrySessionFillerContract: the full session is the filler plus
+// spliced intent actions — removing every intent action from the full
+// stream must reproduce the filler exactly, and the filler itself must
+// contain none.
+func TestMimicrySessionFillerContract(t *testing.T) {
+	intents := map[string]bool{}
+	for _, a := range intentActions {
+		intents[a] = true
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		full, filler, err := MimicrySession(5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Cluster != -1 {
+			t.Fatalf("seed %d: mimicry session must carry cluster -1, got %d", seed, full.Cluster)
+		}
+		if filler.Cluster < 0 || filler.Cluster >= 13 {
+			t.Fatalf("seed %d: filler must carry the victim cluster, got %d", seed, filler.Cluster)
+		}
+		// The full session must be the filler plus spliced intent
+		// actions: greedy subsequence matching, with every unmatched
+		// action being intent-class. (Victim routines may themselves
+		// contain intent-class actions, so a blanket strip is wrong —
+		// those occurrences appear in BOTH streams and match up.)
+		j, hidden := 0, 0
+		for _, a := range full.Actions {
+			if j < len(filler.Actions) && a == filler.Actions[j] {
+				j++
+				continue
+			}
+			if !intents[a] {
+				t.Fatalf("seed %d: non-intent action %q spliced into the filler stream", seed, a)
+			}
+			hidden++
+		}
+		if j != len(filler.Actions) {
+			t.Fatalf("seed %d: filler is not a subsequence of the full session (%d of %d matched)", seed, j, len(filler.Actions))
+		}
+		if hidden == 0 {
+			t.Fatalf("seed %d: mimicry session hides no intent actions", seed)
+		}
+		if hidden > len(full.Actions)/3 {
+			t.Fatalf("seed %d: %d intent actions in %d — too loud for mimicry", seed, hidden, len(full.Actions))
+		}
+	}
+	if _, _, err := MimicrySession(1, 0); err == nil {
+		t.Fatal("reps < 2 must fail")
+	}
+}
+
+// TestFlashCrowdBenignShape: surge members are profile-shaped benign
+// sessions from distinct users packed into seconds.
+func TestFlashCrowdBenignShape(t *testing.T) {
+	ss, err := GenerateScenario(BenignFlashCrowd, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) < 10 {
+		t.Fatalf("surge of %d sessions is no crowd", len(ss))
+	}
+	users := map[string]bool{}
+	for i, s := range ss {
+		if s.Anomalous {
+			t.Fatalf("flash-crowd session %s labeled anomalous", s.Session.ID)
+		}
+		if s.Session.Cluster < 0 || s.Session.Cluster >= 13 {
+			t.Fatalf("flash-crowd session %s has cluster %d, want a real profile", s.Session.ID, s.Session.Cluster)
+		}
+		users[s.Session.User] = true
+		if i > 0 && s.Session.Start.Before(ss[i-1].Session.Start) {
+			t.Fatalf("surge not emitted in wall-clock order at %d", i)
+		}
+	}
+	if len(users) != len(ss) {
+		t.Fatalf("surge members share users: %d for %d sessions", len(users), len(ss))
+	}
+	window := ss[len(ss)-1].Session.Start.Sub(ss[0].Session.Start)
+	if window.Seconds() > 30 {
+		t.Fatalf("surge spread over %v, want seconds", window)
+	}
+}

@@ -59,7 +59,30 @@ const (
 	// MisuseCredentialSweep resets passwords and unlocks access across
 	// many profiles.
 	MisuseCredentialSweep
+	// MisuseMimicry hides single misuse actions inside high-likelihood
+	// routine runs sampled from a victim behavior profile.
+	MisuseMimicry
+	// MisuseLowAndSlow spreads one campaign across many short,
+	// individually-innocuous sessions sharing a campaign ID.
+	MisuseLowAndSlow
+	// MisuseCoordinated splits one attack into complementary slices
+	// executed by several users over the same wall-clock window.
+	MisuseCoordinated
+	// BenignFlashCrowd is a legitimate-traffic surge: it stresses
+	// admission control and shedding and must NOT alarm.
+	BenignFlashCrowd
 )
+
+// AllScenarios returns every scenario in enum order. Generators, the
+// traffic mixers, and the per-scenario eval all derive their scenario
+// sets from this registry so a new family can't be silently dropped.
+func AllScenarios() []MisuseScenario {
+	return []MisuseScenario{
+		MisuseMassDeletion, MisuseAccountFactory, MisuseCredentialSweep,
+		MisuseMimicry, MisuseLowAndSlow, MisuseCoordinated,
+		BenignFlashCrowd,
+	}
+}
 
 // String returns the scenario name.
 func (m MisuseScenario) String() string {
@@ -70,9 +93,23 @@ func (m MisuseScenario) String() string {
 		return "account-factory"
 	case MisuseCredentialSweep:
 		return "credential-sweep"
+	case MisuseMimicry:
+		return "mimicry"
+	case MisuseLowAndSlow:
+		return "low-and-slow"
+	case MisuseCoordinated:
+		return "coordinated"
+	case BenignFlashCrowd:
+		return "flash-crowd"
 	default:
 		return fmt.Sprintf("misuse(%d)", int(m))
 	}
+}
+
+// Anomalous reports whether sessions of this scenario are ground-truth
+// misuse. Only the flash-crowd control class is benign.
+func (m MisuseScenario) Anomalous() bool {
+	return m != BenignFlashCrowd
 }
 
 // MisuseSession generates one scripted misuse session with the given
@@ -116,23 +153,33 @@ func MisuseSession(scenario MisuseScenario, reps int, seed int64) (*actionlog.Se
 	}, nil
 }
 
-// InjectMisuse returns sessions plus count scripted misuse sessions cycling
-// through all scenarios, shuffled deterministically; it returns the
-// combined slice and the IDs of the injected sessions.
+// InjectMisuse returns sessions plus count units of misuse cycling
+// through every anomalous scenario in the AllScenarios registry,
+// shuffled deterministically; it returns the combined slice and the IDs
+// of the injected sessions. A unit is one session for single-session
+// scenarios and one whole campaign for the multi-session families, so
+// the number of injected sessions can exceed count.
 func InjectMisuse(sessions []*actionlog.Session, count int, seed int64) ([]*actionlog.Session, []string, error) {
-	scenarios := []MisuseScenario{MisuseMassDeletion, MisuseAccountFactory, MisuseCredentialSweep}
+	var scenarios []MisuseScenario
+	for _, sc := range AllScenarios() {
+		if sc.Anomalous() {
+			scenarios = append(scenarios, sc)
+		}
+	}
 	rng := rand.New(rand.NewSource(seed))
 	combined := make([]*actionlog.Session, len(sessions), len(sessions)+count)
 	copy(combined, sessions)
-	ids := make([]string, 0, count)
+	var ids []string
 	for i := 0; i < count; i++ {
-		s, err := MisuseSession(scenarios[i%len(scenarios)], 3+rng.Intn(5), seed+int64(i))
+		unit, err := GenerateScenario(scenarios[i%len(scenarios)], 1, seed+int64(i))
 		if err != nil {
 			return nil, nil, err
 		}
-		s.ID = fmt.Sprintf("%s-%03d", s.ID, i)
-		ids = append(ids, s.ID)
-		combined = append(combined, s)
+		for _, ss := range unit {
+			ss.Session.ID = fmt.Sprintf("%s-inj%03d", ss.Session.ID, i)
+			ids = append(ids, ss.Session.ID)
+			combined = append(combined, ss.Session)
+		}
 	}
 	rng.Shuffle(len(combined), func(i, j int) { combined[i], combined[j] = combined[j], combined[i] })
 	return combined, ids, nil
